@@ -1,0 +1,68 @@
+// Command arch21 runs the toolkit's paper-claim experiments.
+//
+// Usage:
+//
+//	arch21 list             # list experiments with their paper claims
+//	arch21 run E3           # run one experiment
+//	arch21 run all          # run every experiment
+//	arch21 run E3 -csv      # emit the experiment's table as CSV
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range core.Registry() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		id := os.Args[2]
+		csv := len(os.Args) > 3 && os.Args[3] == "-csv"
+		if id == "all" {
+			for _, out := range core.RunAll() {
+				fmt.Println(out)
+			}
+			return
+		}
+		e, ok := core.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "arch21: unknown experiment %q (try 'arch21 list')\n", id)
+			os.Exit(1)
+		}
+		res := e.Run()
+		fmt.Printf("=== %s: %s\nclaim: %s\n", e.ID, e.Title, e.PaperClaim)
+		if csv {
+			switch {
+			case res.Table != nil:
+				fmt.Print(res.Table.CSV())
+			case res.Figure != nil:
+				fmt.Print(res.Figure.CSV())
+			}
+			return
+		}
+		fmt.Print(res.Render())
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  arch21 list
+  arch21 run <id|all> [-csv]`)
+}

@@ -1,0 +1,63 @@
+// Command scaling explores the technology models: Dennard vs post-Dennard
+// trajectories, the process-node library, and near-threshold operating
+// points.
+//
+// Example:
+//
+//	scaling -gens 8
+//	scaling -nodes
+//	scaling -ntv 45nm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tech"
+)
+
+func main() {
+	gens := flag.Int("gens", 6, "generations to project")
+	nodes := flag.Bool("nodes", false, "print the process-node library")
+	ntv := flag.String("ntv", "", "print the NTV energy curve for a node (e.g. 45nm)")
+	flag.Parse()
+
+	switch {
+	case *nodes:
+		fmt.Println("node    year  vdd    vth    MTr/mm2  leak   FIT/Mb")
+		for _, n := range tech.Nodes() {
+			fmt.Printf("%-7s %d  %.2fV  %.2fV  %7.1f  %4.0f%%  %6.0f\n",
+				n.Name, n.Year, n.Vdd, n.Vth, n.DensityMTrPerMM2,
+				n.LeakageFrac*100, n.SoftErrorFITPerMb)
+		}
+	case *ntv != "":
+		node, ok := tech.NodeByName(*ntv)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "scaling: unknown node %q\n", *ntv)
+			os.Exit(1)
+		}
+		m := tech.NewNTVModel(node, 100e-12)
+		vMin, eMin := m.MinEnergyPoint()
+		fmt.Printf("node %s: Vdd=%.2fV Vth=%.2fV\n", node.Name, node.Vdd, node.Vth)
+		fmt.Printf("minimum energy point: %.3fV at %.3gJ/op (%.1fx below nominal)\n",
+			vMin, eMin, m.EnergyPerOp(node.Vdd)/eMin)
+		fmt.Println("vdd     E/op(pJ)  E/correct-op(pJ)  err-rate      rel-speed")
+		for v := node.Vth + 0.04; v <= node.Vdd+0.001; v += 0.05 {
+			fmt.Printf("%.2fV  %8.2f  %16.2f  %.2e  %9.3f\n",
+				v, m.EnergyPerOp(v)/1e-12, m.EffectiveEnergyPerOp(v)/1e-12,
+				m.ErrorRate(v), m.ThroughputRel(v))
+		}
+	default:
+		den := tech.Trajectory(tech.Dennard, *gens)
+		post := tech.Trajectory(tech.PostDennard, *gens)
+		fmt.Println("gen  transistors  freq   dennard-P  post-dennard-P  dark")
+		for g := 0; g <= *gens; g++ {
+			fmt.Printf("%3d  %11.0f  %5.2f  %9.2f  %14.2f  %3.0f%%\n",
+				g, den[g].Transistors, den[g].Freq, den[g].PowerChip,
+				post[g].PowerChip, post[g].DarkFrac*100)
+		}
+		fmt.Printf("\npower gap at gen %d: %.1fx (the post-Dennard wall)\n",
+			*gens, tech.PowerGapAtGen(*gens))
+	}
+}

@@ -1,0 +1,71 @@
+// Command tailsim explores tail latency at scale: fork-join fan-out over a
+// configurable leaf latency distribution, with optional hedged requests.
+//
+// Example:
+//
+//	tailsim -fanout 100 -trials 50000 -hedge -hedgeq 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+func main() {
+	fanout := flag.Int("fanout", 100, "number of leaves per request")
+	trials := flag.Int("trials", 20000, "simulated requests")
+	hedge := flag.Bool("hedge", false, "enable hedged requests")
+	hedgeQ := flag.Float64("hedgeq", 0.95, "leaf quantile after which a hedge fires")
+	dist := flag.String("dist", "prod", "leaf latency: prod|exp|lognormal|pareto")
+	seed := flag.Uint64("seed", 2014, "rng seed")
+	sweep := flag.Bool("sweep", false, "sweep fanout 1..1000 and print the 63% curve")
+	flag.Parse()
+
+	leaf := leafDist(*dist)
+	if *sweep {
+		fmt.Println("fanout  closed-form  simulated")
+		for _, n := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000} {
+			r := stats.NewRNG(*seed + uint64(n))
+			res := cluster.SimulateForkJoin(cluster.ForkJoinConfig{
+				Fanout: n, Leaf: leaf, Trials: *trials}, r)
+			fmt.Printf("%6d  %10.4f  %9.4f\n", n,
+				cluster.FractionAboveQuantile(n, 0.99), res.FracAboveLeafP99)
+		}
+		return
+	}
+	cfg := cluster.ForkJoinConfig{Fanout: *fanout, Leaf: leaf, Trials: *trials}
+	if *hedge {
+		cfg.Policy = cluster.Hedged
+		cfg.HedgeQuantile = *hedgeQ
+	}
+	res := cluster.SimulateForkJoin(cfg, stats.NewRNG(*seed))
+	fmt.Printf("leaf p99:            %.4gs\n", res.LeafP99)
+	fmt.Printf("request mean:        %.4gs\n", res.Mean)
+	fmt.Printf("request p50:         %.4gs\n", res.P50)
+	fmt.Printf("request p99:         %.4gs\n", res.P99)
+	fmt.Printf("frac above leaf p99: %.2f%%\n", res.FracAboveLeafP99*100)
+	if *hedge {
+		fmt.Printf("hedge extra load:    %.2f%%\n", res.ExtraLoad*100)
+	}
+}
+
+func leafDist(name string) stats.Dist {
+	switch name {
+	case "prod":
+		return cluster.DefaultLeafLatency()
+	case "exp":
+		return stats.Exponential{Rate: 100}
+	case "lognormal":
+		return stats.LogNormal{Mu: -5, Sigma: 0.7}
+	case "pareto":
+		return stats.Pareto{Xm: 0.001, Alpha: 2}
+	default:
+		fmt.Fprintf(os.Stderr, "tailsim: unknown distribution %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

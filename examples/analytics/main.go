@@ -1,0 +1,75 @@
+// Analytics: the paper's Table A.1 "Human Network Analytics" scenario — an
+// interactive graph query fans out over a warehouse cluster; tail latency,
+// hedging, and QoS against colocated batch analytics decide whether the
+// product feels interactive.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/qos"
+	"repro/internal/stats"
+)
+
+func main() {
+	fmt.Println("== Human network analytics: interactive queries on a warehouse cluster ==")
+
+	// 1. A query touches 100 graph shards; every shard must answer.
+	leaf := cluster.DefaultLeafLatency()
+	r := stats.NewRNG(99)
+	plain := cluster.SimulateForkJoin(cluster.ForkJoinConfig{
+		Fanout: 100, Leaf: leaf, Trials: 30000}, r)
+	fmt.Printf("100-shard query: p50 %.0fms, p99 %.0fms — %.0f%% of queries see a shard's p99\n",
+		plain.P50*1000, plain.P99*1000, plain.FracAboveLeafP99*100)
+
+	// 2. Hedged requests (Dean's mitigation).
+	rh := stats.NewRNG(99)
+	hedged := cluster.SimulateForkJoin(cluster.ForkJoinConfig{
+		Fanout: 100, Leaf: leaf, Trials: 30000,
+		Policy: cluster.Hedged, HedgeQuantile: 0.95}, rh)
+	fmt.Printf("with p95 hedging:  p99 %.0fms (%.1fx better) for %.1f%% extra shard load\n",
+		hedged.P99*1000, plain.P99/hedged.P99, hedged.ExtraLoad*100)
+
+	// 3. Shard servers are colocated with batch graph indexing: QoS.
+	base := qos.Config{
+		LCRate:           100,
+		LCService:        stats.Exponential{Rate: 1000},
+		BatchOutstanding: 4,
+		BatchService:     stats.Constant{V: 0.050},
+		Duration:         300,
+		Seed:             7,
+	}
+	for _, pol := range []qos.Policy{qos.SharedFIFO, qos.PriorityLC} {
+		cfg := base
+		cfg.Policy = pol
+		res := qos.Simulate(cfg)
+		fmt.Printf("shard + indexing, %-12s: query p99 %.1fms, indexing %.1f jobs/s\n",
+			pol.String(), res.LCP99*1000, res.BatchThroughput)
+	}
+	rate, ctl := qos.SLOController(base, 0.020, 8)
+	fmt.Printf("SLO controller at 20ms: bucket rate %.2f/s, query p99 %.1fms, indexing %.1f jobs/s\n",
+		rate, ctl.LCP99*1000, ctl.BatchThroughput)
+
+	// 4. Load-dependence: the same cluster at higher utilization.
+	for _, load := range []float64{100, 500, 700} {
+		res := cluster.SimulateQueueing(cluster.QueueingConfig{
+			Leaves: 20, RootRate: load,
+			LeafService: stats.Exponential{Rate: 1000},
+			Requests:    4000, Seed: 11})
+		fmt.Printf("queueing at %.0f%% leaf utilization: join p99 %.1fms\n",
+			res.MeanLeafUtilization*100, res.P99*1000)
+	}
+
+	// 5. Data placement: the hottest shard sets the join latency, so
+	//    balance and resharding cost matter.
+	mod := cluster.MeasureLoad(cluster.ModuloSharder{N: 100}, 200000, 0, stats.NewRNG(13))
+	ch := cluster.MeasureLoad(cluster.NewConsistentHash(100, 128), 200000, 0, stats.NewRNG(13))
+	fmt.Printf("placement balance (max/mean): modulo %.2f, consistent-hash(128 vnodes) %.2f\n",
+		mod.MaxOverMean, ch.MaxOverMean)
+	fmt.Printf("scale-out 100->101 servers moves: modulo %.0f%% of keys, consistent hash %.1f%%\n",
+		100*cluster.MovedFraction(cluster.ModuloSharder{N: 100}, cluster.ModuloSharder{N: 101}, 100000),
+		100*cluster.MovedFraction(cluster.NewConsistentHash(100, 128), cluster.NewConsistentHash(101, 128), 100000))
+}

@@ -1,0 +1,66 @@
+// Datacenter: design an "energy-first" warehouse computer toward the
+// paper's exa-op / 10 MW target — pick the memory/storage stack, allocate
+// dark silicon between cores and accelerators, and check how far
+// specialization closes the efficiency ladder's gap.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/nvm"
+	"repro/internal/units"
+)
+
+func main() {
+	fmt.Println("== Designing toward the exa-op, 10MW datacenter ==")
+
+	// 1. The gap today.
+	for _, p := range energy.Ladder() {
+		if p.Name != "datacenter" {
+			continue
+		}
+		fmt.Printf("target: %s/s in %s = %s; today %s -> gap %.0fx\n",
+			p.TargetOpsPerSec, p.PowerBudget,
+			units.SI(p.TargetOpsPerWatt(), "op/W"),
+			units.SI(p.TodayOpsPerWatt, "op/W"), p.Gap())
+	}
+
+	// 2. Fill each server's power budget with the most efficient mix.
+	cands := []accel.Candidate{
+		{Name: "big-core", AreaBCE: 16, PowerW: 8, Throughput: 4e10, MaxInstances: 4},
+		{Name: "little-core", AreaBCE: 1, PowerW: 0.6, Throughput: 6e9},
+		{Name: "stream-accel", AreaBCE: 6, PowerW: 2, Throughput: 4e11, MaxInstances: 8},
+		{Name: "crypto-accel", AreaBCE: 2, PowerW: 0.5, Throughput: 8e10, MaxInstances: 2},
+	}
+	alloc := accel.AllocateDarkSilicon(cands, 256, 100)
+	fmt.Printf("per-server allocation under 100W / 256 BCE: %v\n", alloc.Counts)
+	fmt.Printf("  throughput %s/s, power %.0fW, dark fraction %.0f%%\n",
+		units.Ops(alloc.Throughput), alloc.PowerUsed, alloc.DarkFraction(256)*100)
+
+	// 3. Memory/storage: what the NVM stack buys at the facility level.
+	w := nvm.TxnWorkload{ReadsPerTxn: 20, PersistsPerTxn: 2}
+	legacy, single := nvm.LegacyStack(), nvm.NVMStack()
+	fmt.Printf("persist-bound txn: %s on %s vs %s on %s (%.0fx)\n",
+		legacy.TxnLatency(w), legacy.Name, single.TxnLatency(w), single.Name,
+		float64(legacy.TxnLatency(w))/float64(single.TxnLatency(w)))
+	fmt.Printf("idle power 64GB+1TB per server: %s vs %s\n",
+		legacy.IdlePower(64, 1000), single.IdlePower(64, 1000))
+
+	// 4. Facility roll-up: machines that fit in 10MW and what they deliver.
+	server := cluster.Warehouse{
+		MachineWatts:  alloc.PowerUsed + 50, // + memory/network/fans
+		PUE:           1.15,
+		OpsPerMachine: alloc.Throughput,
+	}
+	server.Machines = server.MachinesForPower(10e6)
+	fmt.Printf("10MW facility: %d machines, %s/s aggregate, %s\n",
+		server.Machines, units.Ops(server.TotalOps()),
+		units.SI(server.OpsPerWatt(), "op/W"))
+	fmt.Printf("ladder target is 1e11 op/W: specialization closes the gap to %.1fx\n",
+		1e11/server.OpsPerWatt())
+}

@@ -1,0 +1,70 @@
+package accel
+
+import (
+	"sort"
+)
+
+// Candidate is a unit competing for dark-silicon area: a core or
+// accelerator with area, power, and the throughput it contributes on the
+// target workload mix.
+type Candidate struct {
+	Name string
+	// AreaBCE and PowerW are per-instance costs.
+	AreaBCE float64
+	PowerW  float64
+	// Throughput is per-instance delivered ops/s on the workload mix.
+	Throughput float64
+	// MaxInstances caps how many can be placed (0 = unlimited by count).
+	MaxInstances int
+}
+
+// Allocation is the chosen instance counts.
+type Allocation struct {
+	Counts     map[string]int
+	AreaUsed   float64
+	PowerUsed  float64
+	Throughput float64
+}
+
+// AllocateDarkSilicon greedily fills an area budget under a power budget
+// with the candidates of best throughput-per-watt-per-area, modelling the
+// post-Dennard design problem: area is abundant, power is not, so the chip
+// fills with efficient specialized units and leaves the rest dark.
+func AllocateDarkSilicon(cands []Candidate, areaBudget, powerBudget float64) Allocation {
+	// Sort by throughput per watt (primary) then per area.
+	order := make([]Candidate, len(cands))
+	copy(order, cands)
+	sort.Slice(order, func(i, j int) bool {
+		ti := order[i].Throughput / order[i].PowerW
+		tj := order[j].Throughput / order[j].PowerW
+		if ti != tj {
+			return ti > tj
+		}
+		return order[i].Throughput/order[i].AreaBCE > order[j].Throughput/order[j].AreaBCE
+	})
+	alloc := Allocation{Counts: make(map[string]int)}
+	for _, c := range order {
+		for {
+			if c.MaxInstances > 0 && alloc.Counts[c.Name] >= c.MaxInstances {
+				break
+			}
+			if alloc.AreaUsed+c.AreaBCE > areaBudget ||
+				alloc.PowerUsed+c.PowerW > powerBudget {
+				break
+			}
+			alloc.Counts[c.Name]++
+			alloc.AreaUsed += c.AreaBCE
+			alloc.PowerUsed += c.PowerW
+			alloc.Throughput += c.Throughput
+		}
+	}
+	return alloc
+}
+
+// DarkFraction returns the fraction of the area budget left unpowered.
+func (a Allocation) DarkFraction(areaBudget float64) float64 {
+	if areaBudget <= 0 {
+		return 0
+	}
+	return 1 - a.AreaUsed/areaBudget
+}

@@ -1,0 +1,25 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// The paper's §2.1 arithmetic: at fan-out 100, the fraction of requests
+// that see at least one leaf's p99 latency.
+func ExampleFractionAboveQuantile() {
+	fmt.Printf("%.1f%%\n", 100*cluster.FractionAboveQuantile(100, 0.99))
+	// Output: 63.4%
+}
+
+func ExampleWarehouse_OpsPerWatt() {
+	w := cluster.Warehouse{
+		Machines:      27777, // what fits in 10MW at 360W/machine
+		MachineWatts:  300,
+		PUE:           1.2,
+		OpsPerMachine: 3e12,
+	}
+	fmt.Printf("%.1f Gops/W\n", w.OpsPerWatt()/1e9)
+	// Output: 8.3 Gops/W
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Sharder maps keys to servers. The paper's data-center direction asks for
+// "reasoning about locality and enforcing efficient locality properties in
+// data center systems" (§2.1); placement policy is the first-order lever,
+// and imbalance feeds straight into the tail results of E3 (the hottest
+// shard sets the join latency).
+type Sharder interface {
+	// Place returns the server index in [0, Servers()) for a key.
+	Place(key uint64) int
+	// Servers returns the server count.
+	Servers() int
+}
+
+// ModuloSharder is the naive key%N placement: perfectly balanced for
+// uniform keys, but resharding on N→N+1 moves almost every key.
+type ModuloSharder struct{ N int }
+
+// Place implements Sharder.
+func (m ModuloSharder) Place(key uint64) int { return int(key % uint64(m.N)) }
+
+// Servers implements Sharder.
+func (m ModuloSharder) Servers() int { return m.N }
+
+// ConsistentHash implements consistent hashing with virtual nodes: each
+// server owns VNodes points on a hash ring; a key belongs to the first
+// point clockwise. Adding a server moves only ~1/N of keys.
+type ConsistentHash struct {
+	n      int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	server int
+}
+
+// NewConsistentHash builds a ring for n servers with vnodes points each.
+func NewConsistentHash(n, vnodes int) *ConsistentHash {
+	if n < 1 || vnodes < 1 {
+		panic("cluster: need n >= 1 and vnodes >= 1")
+	}
+	ch := &ConsistentHash{n: n}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodes; v++ {
+			ch.points = append(ch.points, ringPoint{
+				hash:   splitmix(uint64(s)<<32 | uint64(v)),
+				server: s,
+			})
+		}
+	}
+	sort.Slice(ch.points, func(i, j int) bool { return ch.points[i].hash < ch.points[j].hash })
+	return ch
+}
+
+// splitmix is the same SplitMix64 finalizer the stats package uses, inlined
+// so ring geometry is independent of RNG stream state.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Place implements Sharder.
+func (ch *ConsistentHash) Place(key uint64) int {
+	h := splitmix(key)
+	i := sort.Search(len(ch.points), func(i int) bool { return ch.points[i].hash >= h })
+	if i == len(ch.points) {
+		i = 0
+	}
+	return ch.points[i].server
+}
+
+// Servers implements Sharder.
+func (ch *ConsistentHash) Servers() int { return ch.n }
+
+// LoadStats reports placement balance for a key workload.
+type LoadStats struct {
+	// MaxOverMean is the hottest server's load over the mean (1.0 =
+	// perfect balance); this factor multiplies the per-leaf latency the
+	// fork-join tail sees.
+	MaxOverMean float64
+	// PerServer is the per-server key (or weight) totals.
+	PerServer []float64
+}
+
+// MeasureLoad places nKeys Zipf-weighted keys (skew s; s=0 for uniform
+// weights) and reports balance.
+func MeasureLoad(sh Sharder, nKeys int, skew float64, r *stats.RNG) LoadStats {
+	load := make([]float64, sh.Servers())
+	var z *stats.Zipf
+	if skew > 0 {
+		z = stats.NewZipf(nKeys, skew)
+	}
+	for k := 0; k < nKeys; k++ {
+		w := 1.0
+		if z != nil {
+			w = z.Prob(k+1) * float64(nKeys)
+		}
+		// Random key identity (stable per index) decouples popularity
+		// rank from ring position.
+		key := splitmix(uint64(k) * 0x9e3779b97f4a7c15)
+		load[sh.Place(key)] += w
+	}
+	_ = r
+	mean := 0.0
+	for _, l := range load {
+		mean += l
+	}
+	mean /= float64(len(load))
+	maxL := 0.0
+	for _, l := range load {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	st := LoadStats{PerServer: load}
+	if mean > 0 {
+		st.MaxOverMean = maxL / mean
+	}
+	return st
+}
+
+// MovedFraction returns the fraction of nKeys whose placement changes when
+// going from sharder a to sharder b — the resharding cost of scaling out.
+func MovedFraction(a, b Sharder, nKeys int) float64 {
+	moved := 0
+	for k := 0; k < nKeys; k++ {
+		key := splitmix(uint64(k) * 0x9e3779b97f4a7c15)
+		if a.Place(key) != b.Place(key) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(nKeys)
+}
+
+func (s LoadStats) String() string {
+	return fmt.Sprintf("max/mean=%.3f over %d servers", s.MaxOverMean, len(s.PerServer))
+}

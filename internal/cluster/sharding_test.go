@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestModuloBalanced(t *testing.T) {
+	sh := ModuloSharder{N: 16}
+	st := MeasureLoad(sh, 100000, 0, stats.NewRNG(1))
+	if st.MaxOverMean > 1.05 {
+		t.Fatalf("modulo imbalance = %v, want ~1", st.MaxOverMean)
+	}
+}
+
+func TestConsistentHashCoversAllServers(t *testing.T) {
+	ch := NewConsistentHash(16, 128)
+	st := MeasureLoad(ch, 100000, 0, stats.NewRNG(2))
+	for s, l := range st.PerServer {
+		if l == 0 {
+			t.Fatalf("server %d received no keys", s)
+		}
+	}
+}
+
+func TestVNodesImproveBalance(t *testing.T) {
+	few := MeasureLoad(NewConsistentHash(16, 2), 200000, 0, stats.NewRNG(3))
+	many := MeasureLoad(NewConsistentHash(16, 256), 200000, 0, stats.NewRNG(3))
+	if many.MaxOverMean >= few.MaxOverMean {
+		t.Fatalf("more vnodes should balance better: %v vs %v",
+			many.MaxOverMean, few.MaxOverMean)
+	}
+	if many.MaxOverMean > 1.3 {
+		t.Fatalf("256-vnode imbalance = %v, want < 1.3", many.MaxOverMean)
+	}
+}
+
+func TestReshardingCost(t *testing.T) {
+	const keys = 100000
+	// Modulo: adding one server moves almost everything.
+	modMoved := MovedFraction(ModuloSharder{N: 16}, ModuloSharder{N: 17}, keys)
+	if modMoved < 0.8 {
+		t.Fatalf("modulo reshard moved %v, want > 0.8", modMoved)
+	}
+	// Consistent hashing: ~1/17 of keys.
+	chMoved := MovedFraction(NewConsistentHash(16, 128), NewConsistentHash(17, 128), keys)
+	if chMoved > 0.15 {
+		t.Fatalf("consistent reshard moved %v, want ~1/17", chMoved)
+	}
+	if chMoved <= 0 {
+		t.Fatal("some keys must move to the new server")
+	}
+}
+
+func TestSkewDominatesPlacement(t *testing.T) {
+	// With Zipf-1.1 popularity, even perfect placement cannot balance:
+	// the hottest key dominates. max/mean must blow up for both policies.
+	mod := MeasureLoad(ModuloSharder{N: 16}, 10000, 1.1, stats.NewRNG(5))
+	ch := MeasureLoad(NewConsistentHash(16, 128), 10000, 1.1, stats.NewRNG(5))
+	if mod.MaxOverMean < 2 || ch.MaxOverMean < 2 {
+		t.Fatalf("skewed load should defeat placement: mod %v ch %v",
+			mod.MaxOverMean, ch.MaxOverMean)
+	}
+}
+
+func TestShardingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad ring config did not panic")
+		}
+	}()
+	NewConsistentHash(0, 10)
+}
+
+// Property: placement is deterministic and in range for both sharders.
+func TestQuickPlacementSane(t *testing.T) {
+	ch := NewConsistentHash(8, 64)
+	mod := ModuloSharder{N: 8}
+	f := func(key uint64) bool {
+		a, b := ch.Place(key), ch.Place(key)
+		if a != b || a < 0 || a >= 8 {
+			return false
+		}
+		m := mod.Place(key)
+		return m >= 0 && m < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package cluster models warehouse-scale computing: the fork-join
+// tail-latency arithmetic the paper quotes from Dean ("if 100 systems must
+// jointly respond to a request, 63% of requests will incur the
+// 99-percentile delay"), Monte-Carlo fork-join simulation with hedged
+// requests, a DES-based queueing cluster for load-dependent tails, and a
+// warehouse power/capacity model.
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// FractionAboveQuantile returns the closed-form probability that a fork-join
+// request over fanout independent leaves exceeds the per-leaf quantile q:
+// 1 - q^fanout. With q = 0.99 and fanout = 100 this is the paper's 63%.
+func FractionAboveQuantile(fanout int, q float64) float64 {
+	if fanout < 1 {
+		panic("cluster: fanout must be >= 1")
+	}
+	if q < 0 || q > 1 {
+		panic("cluster: quantile must be in [0,1]")
+	}
+	return 1 - math.Pow(q, float64(fanout))
+}
+
+// HedgePolicy selects a straggler mitigation.
+type HedgePolicy int
+
+// The modelled policies.
+const (
+	// NoHedge sends one request per leaf.
+	NoHedge HedgePolicy = iota
+	// Hedged sends a duplicate to an independent replica once the first
+	// copy has outlived the hedge-quantile latency, taking the earlier
+	// completion (Dean's "hedged requests").
+	Hedged
+)
+
+func (h HedgePolicy) String() string {
+	if h == NoHedge {
+		return "none"
+	}
+	return "hedged"
+}
+
+// ForkJoinConfig parameterizes a Monte-Carlo fork-join experiment.
+type ForkJoinConfig struct {
+	// Fanout is the number of leaves that must all respond.
+	Fanout int
+	// Leaf is the per-leaf latency distribution.
+	Leaf stats.Dist
+	// Trials is the number of simulated requests.
+	Trials int
+	// Policy selects straggler mitigation.
+	Policy HedgePolicy
+	// HedgeQuantile is the leaf quantile after which a hedge fires
+	// (e.g. 0.95).
+	HedgeQuantile float64
+}
+
+// ForkJoinResult summarizes the simulated request-latency distribution.
+type ForkJoinResult struct {
+	// Mean, P50, P99 are request (join) latencies.
+	Mean, P50, P99 float64
+	// FracAboveLeafP99 is the fraction of requests slower than the
+	// per-leaf p99 — the paper's 63% number.
+	FracAboveLeafP99 float64
+	// ExtraLoad is the fraction of additional leaf requests issued by
+	// hedging (0 for NoHedge).
+	ExtraLoad float64
+	// LeafP99 is the per-leaf 99th percentile used as the threshold.
+	LeafP99 float64
+}
+
+// SimulateForkJoin runs the Monte-Carlo experiment.
+func SimulateForkJoin(cfg ForkJoinConfig, r *stats.RNG) ForkJoinResult {
+	if cfg.Fanout < 1 || cfg.Trials < 1 {
+		panic("cluster: need fanout >= 1 and trials >= 1")
+	}
+	leafP99 := cfg.Leaf.Quantile(0.99)
+	hedgeAt := 0.0
+	if cfg.Policy == Hedged {
+		q := cfg.HedgeQuantile
+		if q <= 0 || q >= 1 {
+			q = 0.95
+		}
+		hedgeAt = cfg.Leaf.Quantile(q)
+	}
+	lat := stats.NewSample(cfg.Trials)
+	over := 0
+	extra := 0
+	totalLeaf := 0
+	for t := 0; t < cfg.Trials; t++ {
+		worst := 0.0
+		for l := 0; l < cfg.Fanout; l++ {
+			v := cfg.Leaf.Sample(r)
+			totalLeaf++
+			if cfg.Policy == Hedged && v > hedgeAt {
+				// Second copy issued at hedgeAt on an independent replica.
+				v2 := hedgeAt + cfg.Leaf.Sample(r)
+				extra++
+				totalLeaf++
+				if v2 < v {
+					v = v2
+				}
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+		lat.Add(worst)
+		if worst > leafP99 {
+			over++
+		}
+	}
+	return ForkJoinResult{
+		Mean:             lat.Mean(),
+		P50:              lat.Percentile(50),
+		P99:              lat.Percentile(99),
+		FracAboveLeafP99: float64(over) / float64(cfg.Trials),
+		ExtraLoad:        float64(extra) / float64(cfg.Trials*cfg.Fanout),
+		LeafP99:          leafP99,
+	}
+}
+
+// DefaultLeafLatency returns the leaf latency model used across E3-family
+// experiments: a 1 ms floor plus a log-normal service body with a heavy
+// straggler mode (GC pauses, queueing, background work), calibrated so the
+// p99/p50 ratio is roughly 10x, as production traces show.
+func DefaultLeafLatency() stats.Dist {
+	return stats.Shifted{
+		Offset: 0.001,
+		D: stats.Bimodal{
+			Base:   stats.LogNormal{Mu: math.Log(0.004), Sigma: 0.5},
+			Heavy:  stats.LogNormal{Mu: math.Log(0.060), Sigma: 0.6},
+			PHeavy: 0.015,
+		},
+	}
+}

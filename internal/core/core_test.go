@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+		"E20", "E21", "E22", "E23", "T1", "T2"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	for _, e := range Registry() {
+		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Fatal("E3 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+// Every experiment runs, produces output, and produces findings.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run()
+			if res.Table == nil && res.Figure == nil {
+				t.Fatal("no table or figure")
+			}
+			if len(res.Findings) == 0 {
+				t.Fatal("no findings")
+			}
+			out := res.Render()
+			if len(out) < 50 {
+				t.Fatalf("render too short: %q", out)
+			}
+		})
+	}
+}
+
+// Experiments are deterministic: two runs render identically.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"E2", "E3", "E9", "E12", "E15"} {
+		e, _ := ByID(id)
+		a := e.Run().Render()
+		b := e.Run().Render()
+		if a != b {
+			t.Fatalf("%s renders differ across runs", id)
+		}
+	}
+}
+
+// Spot-check the headline numbers against the paper's claims.
+func TestHeadlineClaims(t *testing.T) {
+	e3, _ := ByID("E3")
+	out := e3.Run().Render()
+	if !strings.Contains(out, "63.") {
+		t.Errorf("E3 should report ~63%%: %s", out)
+	}
+	e2, _ := ByID("E2")
+	out2 := e2.Run().Render()
+	if !strings.Contains(out2, "architecture") {
+		t.Errorf("E2 missing architecture row")
+	}
+	e1, _ := ByID("E1")
+	out1 := e1.Run().Render()
+	if !strings.Contains(out1, "64") { // 2^6 transistors at gen 6
+		t.Errorf("E1 should show 64x transistors: %s", out1)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	outs := RunAll()
+	if len(outs) != len(Registry()) {
+		t.Fatalf("RunAll produced %d outputs", len(outs))
+	}
+	for _, o := range outs {
+		if !strings.Contains(o, "claim:") {
+			t.Fatal("output missing claim line")
+		}
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	if !idLess("E2", "E10") {
+		t.Fatal("E2 should sort before E10")
+	}
+	if !idLess("E18", "T1") {
+		t.Fatal("E18 should sort before T1")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/multicore"
+	"repro/internal/nvm"
+	"repro/internal/report"
+	"repro/internal/tech"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E7",
+		Title: "Multicore speedup models and the 1000-way limit",
+		PaperClaim: "Future growth must come from massive on-chip parallelism; " +
+			"communication energy will outgrow computation energy and require " +
+			"rethinking 1,000-way parallelism (§1.2, §2.2)",
+		Run: runE7,
+	})
+	register(Experiment{
+		ID:    "T2",
+		Title: "Regenerate Table 2: 20th vs 21st century architecture",
+		PaperClaim: "Three shifts: single-chip performance to infrastructure, " +
+			"ILP to energy-first, tried-and-tested to new technologies",
+		Run: runT2,
+	})
+}
+
+func runE7() Result {
+	const n = 256
+	const f = 0.975
+	fig := report.NewFigure("E7: Hill-Marty speedup on a 256-BCE chip, f=0.975",
+		"r (BCEs per big core)", "speedup")
+	sym := fig.AddSeries("symmetric")
+	asym := fig.AddSeries("asymmetric")
+	dyn := fig.AddSeries("dynamic")
+	for _, r := range []float64{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		sym.Add(r, multicore.SymmetricSpeedup(f, n, r))
+		asym.Add(r, multicore.AsymmetricSpeedup(f, n, r))
+		dyn.Add(r, multicore.DynamicSpeedup(f, n, r))
+	}
+	bestR, bestS := multicore.OptimalSymmetricR(f, n)
+	// Communication-limited 1000-way scaling under a power budget.
+	cm := multicore.CommModel{OpEnergy: 1e-12, CommEnergyPerHop: 2e-13, CommFrac: 0.2}
+	s64 := cm.EffectiveSpeedup(0.999, 64, 100, 1)
+	s1024 := cm.EffectiveSpeedup(0.999, 1024, 100, 1)
+	ppwDrop := cm.PerfPerWatt(1) / cm.PerfPerWatt(1024)
+	return Result{
+		Figure: fig,
+		Findings: []string{
+			finding("symmetric optimum at r=%.0f with %.1fx (interior optimum: neither sea-of-small-cores nor one big core)", bestR, bestS),
+			finding("asymmetric beats symmetric everywhere; dynamic bounds both (Hill-Marty shape)"),
+			finding("with communication energy, 1024 cores deliver %.0fx under a 100W cap vs %.0fx at 64 cores — %.1fx perf/W lost to communication (paper: rethink 1000-way parallelism)",
+				s1024, s64, ppwDrop),
+		},
+	}
+}
+
+func runT2() Result {
+	// Row 1: single-chip performance -> infrastructure (tail latency is a
+	// system property, not a chip property).
+	deanFrac := cluster.FractionAboveQuantile(100, 0.99)
+	// Row 2: ILP -> energy first.
+	gap := tech.PowerGapAtGen(5)
+	bestR, _ := multicore.OptimalSymmetricR(0.975, 256)
+	// Row 3: tried-and-tested -> new technologies.
+	w := nvm.TxnWorkload{ReadsPerTxn: 20, PersistsPerTxn: 2}
+	persistGain := float64(nvm.LegacyStack().TxnLatency(w)) /
+		float64(nvm.NVMStack().TxnLatency(w))
+	m := tech.NewNTVModel(tech.Node45(), 100e-12)
+	_, eMin := m.MinEnergyPoint()
+	ntvGain := m.EnergyPerOp(m.Node.Vdd) / eMin
+
+	tbl := report.NewTable("T2: Table 2 regenerated from models",
+		"20th century", "21st century", "measured evidence")
+	tbl.AddRow("single-chip performance",
+		"architecture as infrastructure",
+		finding("fan-out 100 makes %.0f%% of requests see leaf p99 — performance is now a cluster property (E3)", deanFrac*100))
+	tbl.AddRow("software-invisible ILP",
+		"energy first: parallelism, specialization, cross-layer",
+		finding("post-Dennard power gap %.0fx after 5 gens; Hill-Marty optimum r=%.0f; specialization ~100x (E1, E4, E7)", gap, bestR))
+	tbl.AddRow("tried-and-tested CMOS/DRAM/disks",
+		"NVM, near-threshold, 3D, photonics",
+		finding("NVM collapses persist latency %.0fx; NTV cuts energy/op %.1fx (E8, E9)", persistGain, ntvGain))
+	return Result{
+		Table: tbl,
+		Findings: []string{
+			finding("all three of Table 2's shifts carry measurable, model-backed magnitude"),
+		},
+	}
+}

@@ -1,0 +1,273 @@
+// Package des implements a deterministic discrete-event simulation kernel:
+// an event calendar (binary heap keyed by time with FIFO tie-breaking), and
+// capacity-limited resources with queueing and utilization accounting.
+//
+// The kernel is callback-based: handlers run synchronously at their
+// scheduled simulated time and may schedule further events. Same-time events
+// fire in schedule order, which together with the stats.RNG determinism
+// contract makes every simulation in the toolkit reproducible.
+//
+// Simulated time is a float64 in arbitrary units; the arch21 simulators use
+// seconds (units.Time) by convention.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing.
+type Event struct {
+	time     float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel marks the event so it will not fire. Safe to call multiple times
+// and after the event has fired.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Time returns the simulated time at which the event is scheduled.
+func (e *Event) Time() float64 { return e.time }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulation executive. The zero value is a ready simulator at
+// time 0.
+type Sim struct {
+	now     float64
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns a fresh simulator at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Fired returns how many events have executed.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns how many events are scheduled (including canceled ones
+// not yet discarded).
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Schedule arranges fn to run after delay simulated time units. It panics on
+// negative delay (an event in the past indicates a modelling bug).
+func (s *Sim) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At arranges fn to run at absolute simulated time t >= Now.
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past (t=%g, now=%g)", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Step executes the next pending event. It returns false when the calendar
+// is empty or the simulator has been stopped.
+func (s *Sim) Step() bool {
+	for {
+		if s.stopped || len(s.events) == 0 {
+			return false
+		}
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.time
+		s.fired++
+		e.fn()
+		return true
+	}
+}
+
+// Run executes events until the calendar empties or Stop is called.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t
+// (if t is beyond the last event).
+func (s *Sim) RunUntil(t float64) {
+	for {
+		if s.stopped {
+			return
+		}
+		// Peek.
+		var next *Event
+		for len(s.events) > 0 && s.events[0].canceled {
+			heap.Pop(&s.events)
+		}
+		if len(s.events) > 0 {
+			next = s.events[0]
+		}
+		if next == nil || next.time > t {
+			if s.now < t {
+				s.now = t
+			}
+			return
+		}
+		s.Step()
+	}
+}
+
+// Stop halts the simulation; Run/RunUntil return after the current handler.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// Resource is a capacity-limited server with a FIFO wait queue and
+// time-weighted occupancy accounting (for utilization and mean queue
+// length).
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	queue    []func()
+
+	lastT         float64
+	busyIntegral  float64 // ∫ inUse dt
+	queueIntegral float64 // ∫ len(queue) dt
+	acquisitions  uint64
+}
+
+// NewResource creates a resource with the given unit capacity (>= 1).
+func NewResource(sim *Sim, capacity int) *Resource {
+	if capacity < 1 {
+		panic("des: resource capacity must be >= 1")
+	}
+	return &Resource{sim: sim, capacity: capacity, lastT: sim.Now()}
+}
+
+func (r *Resource) account() {
+	dt := r.sim.Now() - r.lastT
+	if dt > 0 {
+		r.busyIntegral += float64(r.inUse) * dt
+		r.queueIntegral += float64(len(r.queue)) * dt
+		r.lastT = r.sim.Now()
+	}
+}
+
+// Request asks for one unit. When a unit is available (possibly
+// immediately), fn runs holding it; the holder must call Release exactly
+// once.
+func (r *Resource) Request(fn func()) {
+	r.account()
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.acquisitions++
+		fn()
+		return
+	}
+	r.queue = append(r.queue, fn)
+}
+
+// Release returns one unit, immediately granting it to the head waiter if
+// any.
+func (r *Resource) Release() {
+	r.account()
+	if r.inUse <= 0 {
+		panic("des: Release without matching Request")
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.acquisitions++
+		next() // unit transfers directly; inUse unchanged
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires a unit, holds it for service time units, releases it, then
+// invokes onDone (which may be nil).
+func (r *Resource) Use(service float64, onDone func()) {
+	r.Request(func() {
+		r.sim.Schedule(service, func() {
+			r.Release()
+			if onDone != nil {
+				onDone()
+			}
+		})
+	})
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Capacity returns the configured unit count.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Acquisitions returns how many requests have been granted so far.
+func (r *Resource) Acquisitions() uint64 { return r.acquisitions }
+
+// Utilization returns time-averaged busy units divided by capacity over
+// [start, Now].
+func (r *Resource) Utilization() float64 {
+	r.account()
+	elapsed := r.sim.Now()
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.busyIntegral / (float64(r.capacity) * elapsed)
+}
+
+// MeanQueueLen returns the time-averaged wait-queue length over [0, Now].
+func (r *Resource) MeanQueueLen() float64 {
+	r.account()
+	elapsed := r.sim.Now()
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.queueIntegral / elapsed
+}

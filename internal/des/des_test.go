@@ -1,0 +1,283 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(1, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() { count++ })
+	}
+	s.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("events before 5.5 = %d, want 5", count)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("now = %v, want 5.5", s.Now())
+	}
+	s.RunUntil(20)
+	if count != 10 {
+		t.Fatalf("total events = %d", count)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("now = %v, want 20", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1, func() { count++; s.Stop() })
+	s.Schedule(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped)", count)
+	}
+	if !s.Stopped() {
+		t.Fatal("Stopped() false")
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New()
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 2 {
+		t.Fatalf("fired = %d", s.Fired())
+	}
+}
+
+// Property: any set of schedule offsets executes in nondecreasing time
+// order.
+func TestQuickEventTimeOrder(t *testing.T) {
+	f := func(delays []float64) bool {
+		s := New()
+		var times []float64
+		for _, d := range delays {
+			d = math.Abs(d)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 1e12 {
+				continue
+			}
+			s.Schedule(d, func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	s := New()
+	r := NewResource(s, 2)
+	granted := 0
+	r.Request(func() { granted++ })
+	r.Request(func() { granted++ })
+	if granted != 2 || r.InUse() != 2 {
+		t.Fatalf("granted=%d inUse=%d", granted, r.InUse())
+	}
+	r.Request(func() { granted++ })
+	if granted != 2 || r.QueueLen() != 1 {
+		t.Fatalf("third request should queue: granted=%d queue=%d", granted, r.QueueLen())
+	}
+	r.Release()
+	if granted != 3 {
+		t.Fatal("release should grant head waiter")
+	}
+}
+
+func TestResourceReleasePanicsWhenIdle(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Request did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	NewResource(New(), 0)
+}
+
+func TestResourceUse(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var doneAt []float64
+	r.Use(5, func() { doneAt = append(doneAt, s.Now()) })
+	r.Use(5, func() { doneAt = append(doneAt, s.Now()) })
+	s.Run()
+	if len(doneAt) != 2 || doneAt[0] != 5 || doneAt[1] != 10 {
+		t.Fatalf("doneAt = %v, want [5 10]", doneAt)
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatal("resource not drained")
+	}
+	if r.Acquisitions() != 2 {
+		t.Fatalf("acquisitions = %d", r.Acquisitions())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.Use(4, nil)            // busy [0,4]
+	s.Schedule(8, func() {}) // extend sim to t=8
+	s.Run()
+	u := r.Utilization()
+	if math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+// M/M/1 sanity check: with utilization rho, mean number waiting should be
+// near rho^2/(1-rho) (Lq of an M/M/1).
+func TestResourceMM1QueueLength(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	rng := stats.NewRNG(99)
+	arrival := stats.Exponential{Rate: 0.7} // lambda
+	service := stats.Exponential{Rate: 1.0} // mu
+	const n = 200000
+	var schedule func(i int)
+	tArr := 0.0
+	for i := 0; i < n; i++ {
+		tArr += arrival.Sample(rng)
+		svc := service.Sample(rng)
+		s.At(tArr, func() { r.Use(svc, nil) })
+	}
+	_ = schedule
+	s.Run()
+	rho := 0.7
+	wantLq := rho * rho / (1 - rho) // ~1.633
+	got := r.MeanQueueLen()
+	if math.Abs(got-wantLq) > 0.25*wantLq {
+		t.Fatalf("M/M/1 Lq = %v, want ~%v", got, wantLq)
+	}
+	u := r.Utilization()
+	if math.Abs(u-rho) > 0.05 {
+		t.Fatalf("M/M/1 utilization = %v, want ~%v", u, rho)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var order []int
+	r.Use(1, nil) // occupy
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Request(func() {
+			order = append(order, i)
+			s.Schedule(1, r.Release)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("queue not FIFO: %v", order)
+		}
+	}
+}

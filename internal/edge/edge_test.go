@@ -1,0 +1,151 @@
+package edge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalAllLocal(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	lat, e := Eval(stages, len(stages), d, c, Uplink{Up: false})
+	// Local-only must be feasible even during outages.
+	if math.IsInf(lat, 1) || math.IsInf(e, 1) {
+		t.Fatal("all-local should not need the uplink")
+	}
+	var totOps float64
+	for _, s := range stages {
+		totOps += s.Ops
+	}
+	if math.Abs(lat-totOps/d.OpsPerSec) > 1e-12 {
+		t.Fatalf("local latency = %v", lat)
+	}
+	if math.Abs(e-totOps*d.EnergyPerOp) > 1e-15 {
+		t.Fatalf("local energy = %v", e)
+	}
+}
+
+func TestEvalOffloadInfeasibleDuringOutage(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	lat, e := Eval(stages, 1, d, c, Uplink{Up: false})
+	if !math.IsInf(lat, 1) || !math.IsInf(e, 1) {
+		t.Fatal("offload during outage should be infeasible")
+	}
+}
+
+func TestEvalPanicsOnBadSplit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad split did not panic")
+		}
+	}()
+	Eval(VisionPipeline(), 9, StandardDevice(), StandardCloud(), Uplink{Up: true})
+}
+
+func TestOffloadSavesEnergyOnGoodLink(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	wifi := UplinkStates()[0].Link
+	_, localE := Eval(stages, len(stages), d, c, wifi)
+	// Split after features (k=2): ship 20KB instead of computing 2Gops
+	// locally.
+	_, splitE := Eval(stages, 2, d, c, wifi)
+	if splitE >= localE {
+		t.Fatalf("offload on wifi should save device energy: %v vs %v", splitE, localE)
+	}
+}
+
+func TestBestSplitObjectives(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	wifi := UplinkStates()[0].Link
+
+	kLat, lat, _ := BestSplit(stages, d, c, wifi, MinLatency, 0)
+	kEn, _, en := BestSplit(stages, d, c, wifi, MinEnergy, 0)
+	// Both must be valid cuts with finite metrics.
+	if kLat < 0 || kEn < 0 || math.IsInf(lat, 1) || math.IsInf(en, 1) {
+		t.Fatal("best splits invalid")
+	}
+	// Energy-optimal split must not beat the latency-optimal on latency.
+	latAtEn, _ := Eval(stages, kEn, d, c, wifi)
+	if latAtEn < lat-1e-12 {
+		t.Fatal("latency optimum violated")
+	}
+	// On good wifi, pure energy objective offloads early (small k).
+	if kEn > 2 {
+		t.Fatalf("energy-optimal split = %d, want early offload", kEn)
+	}
+}
+
+func TestBestSplitUnderLatencyBound(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	cell := UplinkStates()[1].Link
+	// Tight bound on congested cellular: should push work on-device.
+	kTight, latTight, _ := BestSplit(stages, d, c, cell, MinEnergyUnderLatency, 0.3)
+	if latTight > 0.3+1e-9 {
+		t.Fatalf("bound violated: %v", latTight)
+	}
+	// Loose bound allows cheaper (more offloaded) splits.
+	_, _, enLoose := BestSplit(stages, d, c, cell, MinEnergyUnderLatency, 10)
+	_, _, enTight := BestSplit(stages, d, c, cell, MinEnergyUnderLatency, 0.3)
+	if enLoose > enTight+1e-12 {
+		t.Fatal("loosening the bound should not raise energy")
+	}
+	_ = kTight
+}
+
+func TestBestSplitFallsBackWhenBoundImpossible(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	wifi := UplinkStates()[0].Link
+	k, lat, _ := BestSplit(stages, d, c, wifi, MinEnergyUnderLatency, 1e-9)
+	if k < 0 || math.IsInf(lat, 1) {
+		t.Fatal("fallback should return the fastest split")
+	}
+}
+
+func TestAdaptationBeatsStatic(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	se, ae, sl, al := AdaptationGain(stages, d, c, 0.5)
+	if ae > se+1e-12 {
+		t.Fatalf("adaptive energy %v should not exceed static %v", ae, se)
+	}
+	if al > sl+1e-12 {
+		t.Fatalf("adaptive latency %v should not exceed static %v", al, sl)
+	}
+	// The paper's point: adaptation wins meaningfully, not marginally.
+	if ae >= se*0.99 && al >= sl*0.99 {
+		t.Fatal("adaptation should win on at least one axis by >= 1%")
+	}
+}
+
+// Property: Eval latency and energy are finite and non-negative for all
+// feasible splits; k=len(stages) never touches the link.
+func TestQuickEvalSane(t *testing.T) {
+	stages := VisionPipeline()
+	d, c := StandardDevice(), StandardCloud()
+	f := func(kRaw uint8, bwRaw uint16, up bool) bool {
+		k := int(kRaw) % (len(stages) + 1)
+		u := Uplink{
+			BytesPerSec:   float64(bwRaw) + 1,
+			RTTSeconds:    0.01,
+			EnergyPerByte: 1e-7,
+			Up:            up,
+		}
+		lat, e := Eval(stages, k, d, c, u)
+		if k == len(stages) {
+			return !math.IsInf(lat, 1) && e >= 0
+		}
+		if !up {
+			return math.IsInf(lat, 1)
+		}
+		return lat > 0 && e > 0 && !math.IsInf(lat, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// Meter accumulates energy by named component, giving experiments a uniform
+// way to answer "where did the joules go". The zero value is ready to use.
+type Meter struct {
+	components map[string]units.Energy
+}
+
+// Add charges e joules to the named component. Negative charges are allowed
+// (credits), matching how models sometimes refund avoided work.
+func (m *Meter) Add(component string, e units.Energy) {
+	if m.components == nil {
+		m.components = make(map[string]units.Energy)
+	}
+	m.components[component] += e
+}
+
+// AddN charges n occurrences of per-event energy e to the component.
+func (m *Meter) AddN(component string, n float64, e units.Energy) {
+	m.Add(component, units.Energy(n)*e)
+}
+
+// Component returns the accumulated energy for one component.
+func (m *Meter) Component(name string) units.Energy {
+	return m.components[name]
+}
+
+// Total returns the sum across components.
+func (m *Meter) Total() units.Energy {
+	var sum units.Energy
+	for _, e := range m.components {
+		sum += e
+	}
+	return sum
+}
+
+// Merge folds other's components into m.
+func (m *Meter) Merge(other *Meter) {
+	for k, v := range other.components {
+		m.Add(k, v)
+	}
+}
+
+// Components returns the component names in sorted order.
+func (m *Meter) Components() []string {
+	names := make([]string, 0, len(m.components))
+	for k := range m.components {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Report renders the meter as a table of components, absolute energy, and
+// share of total.
+func (m *Meter) Report(title string) *report.Table {
+	t := report.NewTable(title, "component", "energy", "share")
+	total := m.Total()
+	for _, name := range m.Components() {
+		e := m.components[name]
+		share := 0.0
+		if total != 0 {
+			share = float64(e) / float64(total)
+		}
+		t.AddRow(name, e.String(), report.FormatFloat(share*100)+"%")
+	}
+	t.AddRow("TOTAL", total.String(), "100%")
+	return t
+}

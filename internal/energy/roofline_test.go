@@ -1,0 +1,90 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestRooflineShape(t *testing.T) {
+	r := StandardRoofline()
+	ridge := r.RidgeIntensity()
+	if ridge <= 0 || math.IsInf(ridge, 1) {
+		t.Fatalf("ridge = %v", ridge)
+	}
+	// Below the ridge: bandwidth-limited, linear in intensity.
+	low := r.AttainableOps(ridge / 10)
+	if math.Abs(low-r.MemBytesPerSec*ridge/10) > 1e-6*low {
+		t.Fatalf("below-ridge throughput = %v", low)
+	}
+	// Above the ridge: flat at peak.
+	if r.AttainableOps(ridge*10) != r.PeakOpsPerSec {
+		t.Fatal("above-ridge should hit peak")
+	}
+	if r.AttainableOps(0) != 0 {
+		t.Fatal("zero intensity should be zero")
+	}
+}
+
+func TestRooflineClassifiesKernels(t *testing.T) {
+	r := StandardRoofline()
+	// SpMV (~0.15 op/byte) is memory bound; large GEMM is compute bound.
+	if !r.MemoryBound(workload.SpMV.Intensity(10000)) {
+		t.Fatal("SpMV should be memory bound")
+	}
+	if r.MemoryBound(workload.GEMM.Intensity(2048)) {
+		t.Fatal("large GEMM should be compute bound")
+	}
+}
+
+func TestEnergyPerOpDivergesAtLowIntensity(t *testing.T) {
+	r := StandardRoofline()
+	e1 := r.EnergyPerOp(10)   // compute-dominated
+	e2 := r.EnergyPerOp(0.01) // memory-dominated
+	if e2 < 100*e1 {
+		t.Fatalf("low-intensity energy %v should dwarf high-intensity %v", e2, e1)
+	}
+	if !math.IsInf(r.EnergyPerOp(0), 1) {
+		t.Fatal("zero intensity energy should be infinite")
+	}
+}
+
+func TestEnergyBalanceIntensity(t *testing.T) {
+	r := StandardRoofline()
+	bal := r.EnergyBalanceIntensity()
+	// At the balance point the two terms are equal.
+	e := r.EnergyPerOp(bal)
+	if math.Abs(e-2*r.OpEnergy) > 1e-9*e {
+		t.Fatalf("balance point energy = %v, want 2x op energy", e)
+	}
+	// The balance point sits well above the DRAM-fed intensity of typical
+	// streaming kernels: the energy wall is real.
+	if bal < 1 {
+		t.Fatalf("balance intensity = %v ops/byte, expected > 1", bal)
+	}
+}
+
+// Property: attainable throughput is monotone in intensity and bounded by
+// the peak; energy per op is antitone.
+func TestQuickRooflineMonotone(t *testing.T) {
+	r := StandardRoofline()
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw)/100 + 0.01
+		b := float64(bRaw)/100 + 0.01
+		if a > b {
+			a, b = b, a
+		}
+		if r.AttainableOps(a) > r.AttainableOps(b)+1e-9 {
+			return false
+		}
+		if r.AttainableOps(b) > r.PeakOpsPerSec {
+			return false
+		}
+		return r.EnergyPerOp(a) >= r.EnergyPerOp(b)-1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

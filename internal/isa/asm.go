@@ -1,0 +1,275 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a simple textual assembly for the VM. Grammar per line:
+//
+//	[label:] op [operands]   ; comment
+//
+// Registers are r0..r31; immediates are decimal or 0x hex; branch/jump
+// targets may be labels. Operand orders follow the Instr fields:
+//
+//	add/sub/mul/div/and/or/xor  rd, rs1, rs2
+//	addi                        rd, rs1, imm
+//	li                          rd, imm
+//	ld                          rd, rs1, imm      ; rd = Mem[rs1+imm]
+//	st                          rs1, rs2, imm     ; Mem[rs1+imm] = rs2
+//	beq/bne/blt                 rs1, rs2, target
+//	jmp                         target
+//	jr                          rs1
+//	in                          rd, port
+//	out                         rs1, port
+//	nop / halt
+//
+// Comments start with ';' or '#'. Labels are case-sensitive.
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var prog []Instr
+	labels := map[string]int{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) prefix the instruction.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", ln+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", ln+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		var ops []string
+		for _, f := range fields {
+			if f != "" {
+				ops = append(ops, f)
+			}
+		}
+		mnemonic := strings.ToLower(ops[0])
+		args := ops[1:]
+
+		reg := func(i int) (int, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("isa: line %d: missing operand %d", ln+1, i+1)
+			}
+			a := strings.ToLower(args[i])
+			if !strings.HasPrefix(a, "r") {
+				return 0, fmt.Errorf("isa: line %d: %q is not a register", ln+1, args[i])
+			}
+			n, err := strconv.Atoi(a[1:])
+			if err != nil || n < 0 || n >= NumRegs {
+				return 0, fmt.Errorf("isa: line %d: bad register %q", ln+1, args[i])
+			}
+			return n, nil
+		}
+		imm := func(i int) (int64, bool, string, error) {
+			if i >= len(args) {
+				return 0, false, "", fmt.Errorf("isa: line %d: missing operand %d", ln+1, i+1)
+			}
+			v, err := strconv.ParseInt(args[i], 0, 64)
+			if err == nil {
+				return v, false, "", nil
+			}
+			return 0, true, args[i], nil // treat as label, fix up later
+		}
+
+		var in Instr
+		var err error
+		emitTarget := func(argIdx int) error {
+			v, isLabel, label, e := imm(argIdx)
+			if e != nil {
+				return e
+			}
+			if isLabel {
+				fixups = append(fixups, pending{instr: len(prog), label: label, line: ln + 1})
+			} else {
+				in.Imm = v
+			}
+			return nil
+		}
+		switch mnemonic {
+		case "nop":
+			in.Op = Nop
+		case "halt":
+			in.Op = Halt
+		case "add", "sub", "mul", "div", "and", "or", "xor":
+			in.Op = map[string]Op{"add": Add, "sub": Sub, "mul": Mul,
+				"div": Div, "and": And, "or": Or, "xor": Xor}[mnemonic]
+			if in.Rd, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.Rs1, err = reg(1); err != nil {
+				return nil, err
+			}
+			if in.Rs2, err = reg(2); err != nil {
+				return nil, err
+			}
+		case "addi":
+			in.Op = Addi
+			if in.Rd, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.Rs1, err = reg(1); err != nil {
+				return nil, err
+			}
+			v, isLabel, _, e := imm(2)
+			if e != nil || isLabel {
+				return nil, fmt.Errorf("isa: line %d: addi needs a numeric immediate", ln+1)
+			}
+			in.Imm = v
+		case "li":
+			in.Op = Li
+			if in.Rd, err = reg(0); err != nil {
+				return nil, err
+			}
+			v, isLabel, _, e := imm(1)
+			if e != nil || isLabel {
+				return nil, fmt.Errorf("isa: line %d: li needs a numeric immediate", ln+1)
+			}
+			in.Imm = v
+		case "ld":
+			in.Op = Ld
+			if in.Rd, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.Rs1, err = reg(1); err != nil {
+				return nil, err
+			}
+			v, isLabel, _, e := imm(2)
+			if e != nil || isLabel {
+				return nil, fmt.Errorf("isa: line %d: ld needs a numeric offset", ln+1)
+			}
+			in.Imm = v
+		case "st":
+			in.Op = St
+			if in.Rs1, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.Rs2, err = reg(1); err != nil {
+				return nil, err
+			}
+			v, isLabel, _, e := imm(2)
+			if e != nil || isLabel {
+				return nil, fmt.Errorf("isa: line %d: st needs a numeric offset", ln+1)
+			}
+			in.Imm = v
+		case "beq", "bne", "blt":
+			in.Op = map[string]Op{"beq": Beq, "bne": Bne, "blt": Blt}[mnemonic]
+			if in.Rs1, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.Rs2, err = reg(1); err != nil {
+				return nil, err
+			}
+			if err = emitTarget(2); err != nil {
+				return nil, err
+			}
+		case "jmp":
+			in.Op = Jmp
+			if err = emitTarget(0); err != nil {
+				return nil, err
+			}
+		case "jr":
+			in.Op = Jr
+			if in.Rs1, err = reg(0); err != nil {
+				return nil, err
+			}
+		case "in":
+			in.Op = In
+			if in.Rd, err = reg(0); err != nil {
+				return nil, err
+			}
+			v, isLabel, _, e := imm(1)
+			if e != nil || isLabel {
+				return nil, fmt.Errorf("isa: line %d: in needs a numeric port", ln+1)
+			}
+			in.Imm = v
+		case "out":
+			in.Op = Out
+			if in.Rs1, err = reg(0); err != nil {
+				return nil, err
+			}
+			v, isLabel, _, e := imm(1)
+			if e != nil || isLabel {
+				return nil, fmt.Errorf("isa: line %d: out needs a numeric port", ln+1)
+			}
+			in.Imm = v
+		default:
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", ln+1, mnemonic)
+		}
+		prog = append(prog, in)
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", fx.line, fx.label)
+		}
+		prog[fx.instr].Imm = int64(target)
+	}
+	return prog, nil
+}
+
+// Disassemble renders a program back to assembly text (without labels).
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		fmt.Fprintf(&b, "%4d: ", pc)
+		switch in.Op {
+		case Nop, Halt:
+			b.WriteString(in.Op.String())
+		case Add, Sub, Mul, Div, And, Or, Xor:
+			fmt.Fprintf(&b, "%-5s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+		case Addi:
+			fmt.Fprintf(&b, "addi  r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+		case Li:
+			fmt.Fprintf(&b, "li    r%d, %d", in.Rd, in.Imm)
+		case Ld:
+			fmt.Fprintf(&b, "ld    r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+		case St:
+			fmt.Fprintf(&b, "st    r%d, r%d, %d", in.Rs1, in.Rs2, in.Imm)
+		case Beq, Bne, Blt:
+			fmt.Fprintf(&b, "%-5s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+		case Jmp:
+			fmt.Fprintf(&b, "jmp   %d", in.Imm)
+		case Jr:
+			fmt.Fprintf(&b, "jr    r%d", in.Rs1)
+		case In:
+			fmt.Fprintf(&b, "in    r%d, %d", in.Rd, in.Imm)
+		case Out:
+			fmt.Fprintf(&b, "out   r%d, %d", in.Rs1, in.Imm)
+		default:
+			fmt.Fprintf(&b, "?%d", int(in.Op))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

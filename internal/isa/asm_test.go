@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleSumLoop(t *testing.T) {
+	src := `
+		; sum 1..10
+		li   r1, 0        ; i
+		li   r2, 0        ; sum
+		li   r3, 10
+		li   r4, 1
+	loop:	add  r1, r1, r4
+		add  r2, r2, r1
+		blt  r1, r3, loop
+		halt
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 55 {
+		t.Fatalf("sum = %d, want 55", m.Regs[2])
+	}
+}
+
+func TestAssembleForwardLabel(t *testing.T) {
+	src := `
+		li  r1, 1
+		jmp done
+		li  r1, 99
+	done:	halt
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 1 {
+		t.Fatalf("r1 = %d, want 1 (skipped li 99)", m.Regs[1])
+	}
+}
+
+func TestAssembleMemoryAndIO(t *testing.T) {
+	src := `
+		in   r1, 0
+		li   r2, 4
+		st   r2, r1, 1    ; Mem[5] = r1
+		ld   r3, r2, 1    ; r3 = Mem[5]
+		out  r3, 7
+		halt
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 8)
+	m.Inputs[0] = []int64{42}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Outputs[7]) != 1 || m.Outputs[7][0] != 42 {
+		t.Fatalf("outputs = %v", m.Outputs)
+	}
+}
+
+func TestAssembleHexAndNegative(t *testing.T) {
+	prog, err := Assemble("li r1, 0x10\naddi r2, r1, -6\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1)
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 10 {
+		t.Fatalf("r2 = %d, want 10", m.Regs[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown-op", "frob r1, r2"},
+		{"bad-register", "li rx, 5"},
+		{"register-range", "li r32, 5"},
+		{"undefined-label", "jmp nowhere"},
+		{"duplicate-label", "a: nop\na: nop"},
+		{"label-immediate", "li r1, somewhere"},
+		{"missing-operand", "add r1, r2"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAssembleEmptyAndComments(t *testing.T) {
+	prog, err := Assemble("\n; just comments\n# more\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 0 {
+		t.Fatalf("prog = %d instrs, want 0", len(prog))
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		li   r1, 7
+		addi r2, r1, 3
+		add  r3, r1, r2
+		st   r0, r3, 2
+		ld   r4, r0, 2
+		beq  r4, r3, 6
+		jr   r5
+		in   r6, 1
+		out  r6, 2
+		halt
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(prog)
+	// Reassembling the disassembly (sans pc prefixes) yields the same
+	// program.
+	var clean []string
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, ": "); i >= 0 {
+			clean = append(clean, line[i+2:])
+		}
+	}
+	prog2, err := Assemble(strings.Join(clean, "\n"))
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if len(prog2) != len(prog) {
+		t.Fatalf("length %d vs %d", len(prog2), len(prog))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Fatalf("instr %d: %+v vs %+v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestDisassembleUnknownOp(t *testing.T) {
+	out := Disassemble([]Instr{{Op: Op(77)}})
+	if !strings.Contains(out, "?77") {
+		t.Fatalf("unknown op rendering: %q", out)
+	}
+}

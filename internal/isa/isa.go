@@ -1,0 +1,330 @@
+// Package isa implements a tiny RISC virtual machine with metadata tag
+// plumbing. It is the executable substrate for the paper's cross-cutting
+// security directions (§2.4): dynamic information-flow tracking, tainted
+// input ports, and policy hooks that let the security package reproduce
+// buffer-overflow-style attacks and their hardware detection.
+//
+// The machine is deliberately small — 32 registers, word-addressed memory,
+// two-dozen opcodes — because the experiments need relative costs (tag
+// propagation overhead, checking energy) rather than ISA realism.
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is an opcode.
+type Op int
+
+// The instruction set.
+const (
+	// Nop does nothing.
+	Nop Op = iota
+	// Halt stops the machine.
+	Halt
+	// Add computes Rd = Rs1 + Rs2.
+	Add
+	// Sub computes Rd = Rs1 - Rs2.
+	Sub
+	// Mul computes Rd = Rs1 * Rs2.
+	Mul
+	// Div computes Rd = Rs1 / Rs2 (errors on zero divisor).
+	Div
+	// And computes Rd = Rs1 & Rs2.
+	And
+	// Or computes Rd = Rs1 | Rs2.
+	Or
+	// Xor computes Rd = Rs1 ^ Rs2.
+	Xor
+	// Addi computes Rd = Rs1 + Imm.
+	Addi
+	// Li loads Rd = Imm.
+	Li
+	// Ld loads Rd = Mem[Rs1 + Imm].
+	Ld
+	// St stores Mem[Rs1 + Imm] = Rs2.
+	St
+	// Beq branches to Imm when Rs1 == Rs2.
+	Beq
+	// Bne branches to Imm when Rs1 != Rs2.
+	Bne
+	// Blt branches to Imm when Rs1 < Rs2.
+	Blt
+	// Jmp jumps to Imm.
+	Jmp
+	// Jr jumps to the address in Rs1 (indirect; the IFT-sensitive one).
+	Jr
+	// In reads a word from input port Imm into Rd; data arrives tainted
+	// when the port is untrusted.
+	In
+	// Out writes Rs1 to output port Imm; tainted writes to public ports
+	// violate the leak policy.
+	Out
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Halt: "halt", Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+	And: "and", Or: "or", Xor: "xor", Addi: "addi", Li: "li", Ld: "ld",
+	St: "st", Beq: "beq", Bne: "bne", Blt: "blt", Jmp: "jmp", Jr: "jr",
+	In: "in", Out: "out",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 int
+	Imm          int64
+}
+
+// Tag is a metadata bitmask carried by every register and memory word.
+type Tag uint8
+
+// Tag bits.
+const (
+	// Tainted marks data derived from untrusted input.
+	Tainted Tag = 1 << iota
+)
+
+// NumRegs is the architectural register count. Register 0 is hardwired to
+// zero (writes ignored), as in most RISCs.
+const NumRegs = 32
+
+// Violation describes an IFT policy violation.
+type Violation struct {
+	Kind string // "tainted-jump", "tainted-leak"
+	PC   int
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("isa: %s at pc=%d", v.Kind, v.PC)
+}
+
+// Machine is one VM instance.
+type Machine struct {
+	Regs    [NumRegs]int64
+	RegTags [NumRegs]Tag
+	Mem     []int64
+	MemTags []Tag
+	PC      int
+	Halted  bool
+
+	// Prog is the executing program.
+	Prog []Instr
+
+	// TrackTaint enables tag propagation and policy checks.
+	TrackTaint bool
+	// TaintedPorts marks input ports whose data arrives Tainted.
+	TaintedPorts map[int64]bool
+	// PublicPorts marks output ports where Tainted writes violate policy.
+	PublicPorts map[int64]bool
+	// EnforcePolicy makes violations abort execution; when false they are
+	// only counted (detection-only mode).
+	EnforcePolicy bool
+
+	// Inputs supplies successive In values per port.
+	Inputs map[int64][]int64
+	// Outputs records Out values per port.
+	Outputs map[int64][]int64
+
+	// Cycles counts executed instructions plus memory stalls.
+	Cycles uint64
+	// Counts tallies executed instructions by class: "alu", "mem",
+	// "branch", "io", plus "tagop" for tag propagations performed.
+	Counts map[string]uint64
+	// Violations records detected policy violations.
+	Violations []Violation
+}
+
+// New creates a machine with memWords words of zeroed memory.
+func New(prog []Instr, memWords int) *Machine {
+	return &Machine{
+		Prog:         prog,
+		Mem:          make([]int64, memWords),
+		MemTags:      make([]Tag, memWords),
+		TaintedPorts: map[int64]bool{},
+		PublicPorts:  map[int64]bool{},
+		Inputs:       map[int64][]int64{},
+		Outputs:      map[int64][]int64{},
+		Counts:       map[string]uint64{},
+	}
+}
+
+// ErrMaxCycles is returned when Run exhausts its cycle budget.
+var ErrMaxCycles = errors.New("isa: cycle budget exhausted")
+
+func (m *Machine) setReg(r int, v int64, tag Tag) {
+	if r == 0 {
+		return
+	}
+	m.Regs[r] = v
+	if m.TrackTaint {
+		m.RegTags[r] = tag
+		m.Counts["tagop"]++
+	}
+}
+
+func (m *Machine) tagOf(r int) Tag {
+	if !m.TrackTaint {
+		return 0
+	}
+	return m.RegTags[r]
+}
+
+// Step executes one instruction. It returns an error on machine faults or
+// (when EnforcePolicy) policy violations.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return nil
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog) {
+		return fmt.Errorf("isa: pc %d out of program", m.PC)
+	}
+	in := m.Prog[m.PC]
+	next := m.PC + 1
+	m.Cycles++
+	switch in.Op {
+	case Nop:
+		m.Counts["alu"]++
+	case Halt:
+		m.Halted = true
+		m.Counts["alu"]++
+	case Add, Sub, Mul, Div, And, Or, Xor:
+		m.Counts["alu"]++
+		a, b := m.Regs[in.Rs1], m.Regs[in.Rs2]
+		var v int64
+		switch in.Op {
+		case Add:
+			v = a + b
+		case Sub:
+			v = a - b
+		case Mul:
+			v = a * b
+		case Div:
+			if b == 0 {
+				return fmt.Errorf("isa: divide by zero at pc=%d", m.PC)
+			}
+			v = a / b
+		case And:
+			v = a & b
+		case Or:
+			v = a | b
+		case Xor:
+			v = a ^ b
+		}
+		m.setReg(in.Rd, v, m.tagOf(in.Rs1)|m.tagOf(in.Rs2))
+	case Addi:
+		m.Counts["alu"]++
+		m.setReg(in.Rd, m.Regs[in.Rs1]+in.Imm, m.tagOf(in.Rs1))
+	case Li:
+		m.Counts["alu"]++
+		m.setReg(in.Rd, in.Imm, 0)
+	case Ld:
+		m.Counts["mem"]++
+		m.Cycles++ // memory stall
+		addr := m.Regs[in.Rs1] + in.Imm
+		if addr < 0 || addr >= int64(len(m.Mem)) {
+			return fmt.Errorf("isa: load addr %d out of memory at pc=%d", addr, m.PC)
+		}
+		tag := m.tagOf(in.Rs1)
+		if m.TrackTaint {
+			tag |= m.MemTags[addr]
+		}
+		m.setReg(in.Rd, m.Mem[addr], tag)
+	case St:
+		m.Counts["mem"]++
+		m.Cycles++
+		addr := m.Regs[in.Rs1] + in.Imm
+		if addr < 0 || addr >= int64(len(m.Mem)) {
+			return fmt.Errorf("isa: store addr %d out of memory at pc=%d", addr, m.PC)
+		}
+		m.Mem[addr] = m.Regs[in.Rs2]
+		if m.TrackTaint {
+			m.MemTags[addr] = m.tagOf(in.Rs2) | m.tagOf(in.Rs1)
+			m.Counts["tagop"]++
+		}
+	case Beq, Bne, Blt:
+		m.Counts["branch"]++
+		a, b := m.Regs[in.Rs1], m.Regs[in.Rs2]
+		taken := false
+		switch in.Op {
+		case Beq:
+			taken = a == b
+		case Bne:
+			taken = a != b
+		case Blt:
+			taken = a < b
+		}
+		if taken {
+			next = int(in.Imm)
+		}
+	case Jmp:
+		m.Counts["branch"]++
+		next = int(in.Imm)
+	case Jr:
+		m.Counts["branch"]++
+		if m.TrackTaint && m.tagOf(in.Rs1)&Tainted != 0 {
+			v := Violation{Kind: "tainted-jump", PC: m.PC}
+			m.Violations = append(m.Violations, v)
+			if m.EnforcePolicy {
+				m.Halted = true
+				return v
+			}
+		}
+		next = int(m.Regs[in.Rs1])
+	case In:
+		m.Counts["io"]++
+		vals := m.Inputs[in.Imm]
+		var v int64
+		if len(vals) > 0 {
+			v = vals[0]
+			m.Inputs[in.Imm] = vals[1:]
+		}
+		tag := Tag(0)
+		if m.TaintedPorts[in.Imm] {
+			tag = Tainted
+		}
+		m.setReg(in.Rd, v, tag)
+	case Out:
+		m.Counts["io"]++
+		if m.TrackTaint && m.PublicPorts[in.Imm] && m.tagOf(in.Rs1)&Tainted != 0 {
+			v := Violation{Kind: "tainted-leak", PC: m.PC}
+			m.Violations = append(m.Violations, v)
+			if m.EnforcePolicy {
+				m.Halted = true
+				return v
+			}
+		}
+		m.Outputs[in.Imm] = append(m.Outputs[in.Imm], m.Regs[in.Rs1])
+	default:
+		return fmt.Errorf("isa: illegal opcode %v at pc=%d", in.Op, m.PC)
+	}
+	m.PC = next
+	return nil
+}
+
+// Run executes until Halt, a fault, or maxCycles.
+func (m *Machine) Run(maxCycles uint64) error {
+	for !m.Halted {
+		if m.Cycles >= maxCycles {
+			return ErrMaxCycles
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Instructions returns total executed instructions across classes
+// (excluding tag operations).
+func (m *Machine) Instructions() uint64 {
+	return m.Counts["alu"] + m.Counts["mem"] + m.Counts["branch"] + m.Counts["io"]
+}

@@ -1,0 +1,288 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithmetic(t *testing.T) {
+	prog := []Instr{
+		{Op: Li, Rd: 1, Imm: 6},
+		{Op: Li, Rd: 2, Imm: 7},
+		{Op: Mul, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: Addi, Rd: 4, Rs1: 3, Imm: -2},
+		{Op: Sub, Rd: 5, Rs1: 4, Rs2: 1},
+		{Op: Halt},
+	}
+	m := New(prog, 16)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 42 || m.Regs[4] != 40 || m.Regs[5] != 34 {
+		t.Fatalf("regs = %v %v %v", m.Regs[3], m.Regs[4], m.Regs[5])
+	}
+}
+
+func TestRegisterZeroHardwired(t *testing.T) {
+	prog := []Instr{
+		{Op: Li, Rd: 0, Imm: 99},
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 0 {
+		t.Fatal("r0 must stay zero")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	prog := []Instr{
+		{Op: Li, Rd: 1, Imm: 5},          // addr base
+		{Op: Li, Rd: 2, Imm: 1234},       // value
+		{Op: St, Rs1: 1, Rs2: 2, Imm: 3}, // Mem[8] = 1234
+		{Op: Ld, Rd: 3, Rs1: 1, Imm: 3},  // r3 = Mem[8]
+		{Op: Halt},
+	}
+	m := New(prog, 16)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[8] != 1234 || m.Regs[3] != 1234 {
+		t.Fatal("load/store roundtrip failed")
+	}
+	if m.Counts["mem"] != 2 {
+		t.Fatalf("mem count = %d", m.Counts["mem"])
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..10 via Blt loop.
+	prog := []Instr{
+		{Op: Li, Rd: 1, Imm: 0},  // i
+		{Op: Li, Rd: 2, Imm: 0},  // sum
+		{Op: Li, Rd: 3, Imm: 10}, // limit
+		{Op: Li, Rd: 4, Imm: 1},
+		// loop (pc=4):
+		{Op: Add, Rd: 1, Rs1: 1, Rs2: 4},
+		{Op: Add, Rd: 2, Rs1: 2, Rs2: 1},
+		{Op: Blt, Rs1: 1, Rs2: 3, Imm: 4},
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 55 {
+		t.Fatalf("sum = %d, want 55", m.Regs[2])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Instr
+	}{
+		{"div0", []Instr{{Op: Li, Rd: 1, Imm: 1}, {Op: Div, Rd: 2, Rs1: 1, Rs2: 0}}},
+		{"load-oob", []Instr{{Op: Ld, Rd: 1, Rs1: 0, Imm: 99}}},
+		{"store-oob", []Instr{{Op: St, Rs1: 0, Rs2: 0, Imm: -1}}},
+		{"pc-oob", []Instr{{Op: Jmp, Imm: 55}}},
+		{"illegal", []Instr{{Op: Op(99)}}},
+	}
+	for _, c := range cases {
+		m := New(c.prog, 4)
+		if err := m.Run(100); err == nil {
+			t.Errorf("%s: expected fault", c.name)
+		}
+	}
+}
+
+func TestMaxCycles(t *testing.T) {
+	prog := []Instr{{Op: Jmp, Imm: 0}} // infinite loop
+	m := New(prog, 1)
+	if err := m.Run(100); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+}
+
+func TestIO(t *testing.T) {
+	prog := []Instr{
+		{Op: In, Rd: 1, Imm: 0},
+		{Op: Addi, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: Out, Rs1: 1, Imm: 1},
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	m.Inputs[0] = []int64{41}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Outputs[1]) != 1 || m.Outputs[1][0] != 42 {
+		t.Fatalf("outputs = %v", m.Outputs)
+	}
+}
+
+func TestTaintPropagation(t *testing.T) {
+	prog := []Instr{
+		{Op: In, Rd: 1, Imm: 0},          // tainted
+		{Op: Li, Rd: 2, Imm: 10},         // clean
+		{Op: Add, Rd: 3, Rs1: 1, Rs2: 2}, // tainted | clean = tainted
+		{Op: St, Rs1: 0, Rs2: 3, Imm: 4}, // memory word 4 tainted
+		{Op: Ld, Rd: 5, Rs1: 0, Imm: 4},  // load tainted back
+		{Op: Li, Rd: 6, Imm: 7},          // clean overwrite
+		{Op: Halt},
+	}
+	m := New(prog, 8)
+	m.TrackTaint = true
+	m.TaintedPorts[0] = true
+	m.Inputs[0] = []int64{5}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.RegTags[1]&Tainted == 0 || m.RegTags[3]&Tainted == 0 ||
+		m.RegTags[5]&Tainted == 0 {
+		t.Fatal("taint did not propagate through alu and memory")
+	}
+	if m.MemTags[4]&Tainted == 0 {
+		t.Fatal("memory tag missing")
+	}
+	if m.RegTags[6]&Tainted != 0 {
+		t.Fatal("Li must clear taint")
+	}
+	if m.RegTags[2]&Tainted != 0 {
+		t.Fatal("clean register got tainted")
+	}
+}
+
+func TestTaintedJumpViolation(t *testing.T) {
+	prog := []Instr{
+		{Op: In, Rd: 1, Imm: 0}, // attacker-controlled target
+		{Op: Jr, Rs1: 1},
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	m.TrackTaint = true
+	m.EnforcePolicy = true
+	m.TaintedPorts[0] = true
+	m.Inputs[0] = []int64{2}
+	err := m.Run(100)
+	var v Violation
+	if !errors.As(err, &v) || v.Kind != "tainted-jump" {
+		t.Fatalf("err = %v, want tainted-jump violation", err)
+	}
+	if !m.Halted {
+		t.Fatal("enforcement should halt the machine")
+	}
+}
+
+func TestTaintedJumpDetectionOnlyMode(t *testing.T) {
+	prog := []Instr{
+		{Op: In, Rd: 1, Imm: 0},
+		{Op: Jr, Rs1: 1},
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	m.TrackTaint = true
+	m.TaintedPorts[0] = true
+	m.Inputs[0] = []int64{2}
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1 (detected, not enforced)", len(m.Violations))
+	}
+}
+
+func TestTaintedLeakViolation(t *testing.T) {
+	prog := []Instr{
+		{Op: In, Rd: 1, Imm: 0},
+		{Op: Out, Rs1: 1, Imm: 9}, // public port
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	m.TrackTaint = true
+	m.EnforcePolicy = true
+	m.TaintedPorts[0] = true
+	m.PublicPorts[9] = true
+	m.Inputs[0] = []int64{777}
+	err := m.Run(100)
+	var v Violation
+	if !errors.As(err, &v) || v.Kind != "tainted-leak" {
+		t.Fatalf("err = %v, want tainted-leak", err)
+	}
+}
+
+func TestCleanOutAllowed(t *testing.T) {
+	prog := []Instr{
+		{Op: Li, Rd: 1, Imm: 3},
+		{Op: Out, Rs1: 1, Imm: 9},
+		{Op: Halt},
+	}
+	m := New(prog, 1)
+	m.TrackTaint = true
+	m.EnforcePolicy = true
+	m.PublicPorts[9] = true
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaintOverheadCounted(t *testing.T) {
+	prog := []Instr{
+		{Op: Li, Rd: 1, Imm: 1},
+		{Op: Li, Rd: 2, Imm: 2},
+		{Op: Add, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: Halt},
+	}
+	base := New(prog, 1)
+	_ = base.Run(100)
+	ift := New(prog, 1)
+	ift.TrackTaint = true
+	_ = ift.Run(100)
+	if base.Counts["tagop"] != 0 {
+		t.Fatal("tag ops without tracking")
+	}
+	if ift.Counts["tagop"] == 0 {
+		t.Fatal("tracking should count tag ops")
+	}
+	if base.Instructions() != ift.Instructions() {
+		t.Fatal("instruction counts must match across modes")
+	}
+}
+
+// Property: a program of pure ALU ops never faults and executes exactly
+// len(prog) instructions (plus halt).
+func TestQuickALUPrograms(t *testing.T) {
+	f := func(ops []uint8) bool {
+		prog := make([]Instr, 0, len(ops)+1)
+		for i, o := range ops {
+			if len(prog) >= 50 {
+				break
+			}
+			prog = append(prog, Instr{
+				Op: []Op{Add, Sub, Mul, And, Or, Xor}[int(o)%6],
+				Rd: 1 + i%30, Rs1: i % 31, Rs2: (i + 1) % 31,
+			})
+		}
+		prog = append(prog, Instr{Op: Halt})
+		m := New(prog, 1)
+		if err := m.Run(1000); err != nil {
+			return false
+		}
+		return m.Instructions() == uint64(len(prog))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if Add.String() != "add" || Jr.String() != "jr" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("unknown op format wrong")
+	}
+}

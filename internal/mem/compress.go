@@ -1,0 +1,47 @@
+package mem
+
+// CompressLine returns the size in bytes of a cache line after
+// frequent-pattern compression, the memory-specialization example the paper
+// names ("energy efficiency through specialization (e.g., through
+// compression ...)"). The scheme is a simplified Frequent Pattern
+// Compression: each 32-bit word is encoded with a 3-bit prefix selecting
+// zero / sign-extended 8-bit / sign-extended 16-bit / uncompressed.
+//
+// The returned size includes the prefix bits (rounded up to whole bytes at
+// the end) and never exceeds len(line)+1.
+func CompressLine(lineBytes []byte) int {
+	nWords := len(lineBytes) / 4
+	bits := 0
+	for w := 0; w < nWords; w++ {
+		v := uint32(lineBytes[w*4]) | uint32(lineBytes[w*4+1])<<8 |
+			uint32(lineBytes[w*4+2])<<16 | uint32(lineBytes[w*4+3])<<24
+		bits += 3 // prefix
+		switch {
+		case v == 0:
+			// zero: prefix only
+		case int32(v) >= -128 && int32(v) < 128:
+			bits += 8
+		case int32(v) >= -32768 && int32(v) < 32768:
+			bits += 16
+		default:
+			bits += 32
+		}
+	}
+	// Remainder bytes (line not multiple of 4) stored raw.
+	bits += (len(lineBytes) - nWords*4) * 8
+	size := (bits + 7) / 8
+	if size > len(lineBytes) {
+		// Incompressible lines are stored raw with a 1-byte escape tag.
+		return len(lineBytes) + 1
+	}
+	return size
+}
+
+// CompressionRatio returns original/compressed size for a line.
+func CompressionRatio(lineBytes []byte) float64 {
+	c := CompressLine(lineBytes)
+	if c == 0 {
+		return 1
+	}
+	return float64(len(lineBytes)) / float64(c)
+}

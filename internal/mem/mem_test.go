@@ -1,0 +1,374 @@
+package mem
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+func TestCacheHitsOnRepeat(t *testing.T) {
+	c := NewCache("t", 1<<10, 64, 2, LRU)
+	if res := c.Access(0x100, false); res.Hit {
+		t.Fatal("cold access should miss")
+	}
+	if res := c.Access(0x100, false); !res.Hit {
+		t.Fatal("second access should hit")
+	}
+	if res := c.Access(0x104, false); !res.Hit {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache, 64B lines, 2 sets (256B total).
+	c := NewCache("t", 256, 64, 2, LRU)
+	// Three lines mapping to set 0: line addresses 0, 2, 4.
+	c.Access(0*64, false)
+	c.Access(2*64, false)
+	c.Access(0*64, false) // touch line 0: line 2 is now LRU
+	c.Access(4*64, false) // evicts line 2
+	if !c.Contains(0 * 64) {
+		t.Fatal("line 0 should survive (recently used)")
+	}
+	if c.Contains(2 * 64) {
+		t.Fatal("line 2 should be evicted (LRU)")
+	}
+	if !c.Contains(4 * 64) {
+		t.Fatal("line 4 should be resident")
+	}
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache("t", 256, 64, 2, FIFO)
+	c.Access(0*64, false)
+	c.Access(2*64, false)
+	c.Access(0*64, false) // FIFO ignores recency
+	c.Access(4*64, false) // evicts line 0 (oldest installed)
+	if c.Contains(0 * 64) {
+		t.Fatal("line 0 should be evicted under FIFO")
+	}
+	if !c.Contains(2*64) || !c.Contains(4*64) {
+		t.Fatal("lines 2 and 4 should be resident")
+	}
+}
+
+func TestCacheWriteback(t *testing.T) {
+	c := NewCache("t", 256, 64, 2, LRU)
+	c.Access(0*64, true) // dirty
+	c.Access(2*64, false)
+	res := c.Access(4*64, false) // evicts dirty line 0
+	if !res.WroteBack {
+		t.Fatal("dirty eviction should report writeback")
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Writebacks)
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewCache("t", 0, 64, 2, LRU) },
+		func() { NewCache("t", 100, 64, 2, LRU) },    // not divisible
+		func() { NewCache("t", 64*2*3, 64, 2, LRU) }, // 3 sets: not pow2
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCacheMissRateAndReset(t *testing.T) {
+	c := NewCache("t", 1<<10, 64, 2, LRU)
+	c.Access(0, false)
+	c.Access(0, false)
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+	c.Reset()
+	if c.MissRate() != 0 || c.Hits != 0 || c.Contains(0) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// Property: accessing a working set that fits in the cache twice gives a
+// perfect second-pass hit rate for LRU.
+func TestQuickLRUFitWorkingSet(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := NewCache("t", 8<<10, 64, 4, LRU)
+		r := stats.NewRNG(seed)
+		// 64 distinct lines < 128-line capacity.
+		addrs := make([]uint64, 64)
+		for i := range addrs {
+			addrs[i] = uint64(i) * 64
+		}
+		r.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+		for _, a := range addrs {
+			c.Access(a, false)
+		}
+		for _, a := range addrs {
+			if !c.Access(a, false).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := StandardHierarchy(energy.Table45())
+	lvl, lat1, e1 := h.Access(0, false)
+	if lvl != 3 {
+		t.Fatalf("cold access level = %d, want 3 (DRAM)", lvl)
+	}
+	lvl, lat2, e2 := h.Access(0, false)
+	if lvl != 0 {
+		t.Fatalf("warm access level = %d, want 0 (L1)", lvl)
+	}
+	if lat2 >= lat1 || e2 >= e1 {
+		t.Fatal("L1 hit should be cheaper than DRAM fill")
+	}
+	if h.DRAMAccesses != 1 {
+		t.Fatalf("DRAM accesses = %d", h.DRAMAccesses)
+	}
+	if h.AMAT() <= 0 || h.EnergyPerAccess() <= 0 {
+		t.Fatal("aggregate metrics should be positive")
+	}
+}
+
+func TestHierarchyResetAndEmptyMetrics(t *testing.T) {
+	h := StandardHierarchy(energy.Table45())
+	h.Access(0, false)
+	h.Reset()
+	if h.AMAT() != 0 || h.EnergyPerAccess() != 0 || h.TotalAccesses != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHierarchyStreamingEnergyGap(t *testing.T) {
+	// Streaming (miss-heavy) traffic must cost far more energy/access than
+	// resident traffic — E5's shape.
+	h := StandardHierarchy(energy.Table45())
+	for i := 0; i < 10000; i++ {
+		h.Access(uint64(i)*64*97, false) // pathological stride: all misses
+	}
+	stream := float64(h.EnergyPerAccess())
+	h.Reset()
+	for i := 0; i < 10000; i++ {
+		h.Access(uint64(i%16)*64, false) // resident set
+	}
+	resident := float64(h.EnergyPerAccess())
+	if stream < 5*resident {
+		t.Fatalf("stream %v vs resident %v: want >= 5x gap", stream, resident)
+	}
+}
+
+func TestPrefetcherHelpsStreams(t *testing.T) {
+	tbl := energy.Table45()
+	base := StandardHierarchy(tbl)
+	misses := func(h *Hierarchy, pf *Prefetcher) uint64 {
+		for i := 0; i < 20000; i++ {
+			addr := uint64(i) * 8 // sequential 8-byte stream
+			if pf != nil {
+				pf.Access(addr, false)
+			} else {
+				h.Access(addr, false)
+			}
+		}
+		return h.DRAMAccesses
+	}
+	baseMisses := misses(base, nil)
+	pfH := StandardHierarchy(tbl)
+	pf := NewPrefetcher(pfH, 4)
+	misses(pfH, pf)
+	// Count demand misses that reached DRAM; prefetched lines turn demand
+	// DRAM trips into hits, though prefetches themselves touch DRAM. The
+	// win is latency: average demand latency should fall.
+	if pfH.AMAT() >= base.AMAT() {
+		t.Fatalf("prefetcher should cut AMAT: %v vs %v", pfH.AMAT(), base.AMAT())
+	}
+	if pf.Issued == 0 {
+		t.Fatal("prefetcher never fired on a sequential stream")
+	}
+	_ = baseMisses
+}
+
+func TestPrefetcherDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree 0 did not panic")
+		}
+	}()
+	NewPrefetcher(StandardHierarchy(energy.Table45()), 0)
+}
+
+func TestCompressZeroLine(t *testing.T) {
+	line := make([]byte, 64)
+	size := CompressLine(line)
+	if size >= 16 {
+		t.Fatalf("all-zero 64B line compressed to %d, want < 16", size)
+	}
+	if CompressionRatio(line) < 4 {
+		t.Fatalf("zero-line ratio = %v", CompressionRatio(line))
+	}
+}
+
+func TestCompressSmallValues(t *testing.T) {
+	line := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], uint32(i)) // small ints
+	}
+	size := CompressLine(line)
+	if size >= 32 {
+		t.Fatalf("small-value line compressed to %d, want < 32", size)
+	}
+}
+
+func TestCompressIncompressible(t *testing.T) {
+	line := make([]byte, 64)
+	r := stats.NewRNG(77)
+	for i := range line {
+		line[i] = byte(r.Uint64() | 0x80) // large values
+	}
+	// Force all words to be "uncompressed" class.
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], 0x7fffffff-uint32(i))
+	}
+	size := CompressLine(line)
+	if size > len(line)+1 {
+		t.Fatalf("compressed size %d exceeds raw+escape", size)
+	}
+	if size < len(line)/2 {
+		t.Fatalf("incompressible line 'compressed' to %d", size)
+	}
+}
+
+// Property: compressed size is always in [minimal, len+1].
+func TestQuickCompressBounds(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return CompressLine(data) == 0
+		}
+		s := CompressLine(data)
+		return s >= 1 && s <= len(data)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIPrivateReadWrite(t *testing.T) {
+	m := NewMESI(4)
+	m.Read(0, 0x40)
+	if m.State(0, 0x40) != Exclusive {
+		t.Fatalf("lone reader state = %v, want E", m.State(0, 0x40))
+	}
+	m.Write(0, 0x40)
+	if m.State(0, 0x40) != Modified {
+		t.Fatal("silent E->M upgrade failed")
+	}
+	if m.BusReadXs != 0 {
+		t.Fatal("E->M should not use the bus")
+	}
+	if err := m.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESISharingAndInvalidation(t *testing.T) {
+	m := NewMESI(4)
+	m.Read(0, 0x40)
+	m.Read(1, 0x40)
+	if m.State(0, 0x40) != Shared || m.State(1, 0x40) != Shared {
+		t.Fatal("two readers should both be S")
+	}
+	if m.CacheToCache != 1 {
+		t.Fatalf("cache-to-cache = %d, want 1", m.CacheToCache)
+	}
+	m.Write(2, 0x40)
+	if m.State(2, 0x40) != Modified {
+		t.Fatal("writer should be M")
+	}
+	if m.State(0, 0x40) != Invalid || m.State(1, 0x40) != Invalid {
+		t.Fatal("readers should be invalidated")
+	}
+	if m.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", m.Invalidations)
+	}
+	if err := m.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIDirtyFlushOnRemoteRead(t *testing.T) {
+	m := NewMESI(2)
+	m.Read(0, 0x80)
+	m.Write(0, 0x80)
+	m.Read(1, 0x80)
+	if m.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1 (M flushed)", m.Writebacks)
+	}
+	if m.State(0, 0x80) != Shared || m.State(1, 0x80) != Shared {
+		t.Fatal("both should be S after flush")
+	}
+}
+
+func TestMESIPanics(t *testing.T) {
+	m := NewMESI(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad cpu did not panic")
+		}
+	}()
+	m.Read(5, 0)
+}
+
+// Property: random MESI traffic never violates single-writer invariant.
+func TestQuickMESIInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := NewMESI(4)
+		r := stats.NewRNG(seed)
+		for i := 0; i < 500; i++ {
+			cpu := r.Intn(4)
+			addr := uint64(r.Intn(8)) * 64
+			if r.Bool(0.5) {
+				m.Read(cpu, addr)
+			} else {
+				m.Write(cpu, addr)
+			}
+			if m.Invariant() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIPingPongCost(t *testing.T) {
+	// Write ping-pong between two cores generates an invalidation per
+	// write — the communication cost that 1000-way parallelism must avoid.
+	m := NewMESI(2)
+	for i := 0; i < 100; i++ {
+		m.Write(i%2, 0x100)
+	}
+	if m.Invalidations < 99 {
+		t.Fatalf("ping-pong invalidations = %d, want ~99", m.Invalidations)
+	}
+}

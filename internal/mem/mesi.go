@@ -1,0 +1,172 @@
+package mem
+
+import "fmt"
+
+// MESIState is a coherence state for one cache's copy of a line.
+type MESIState byte
+
+// The four MESI states.
+const (
+	Invalid MESIState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s MESIState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	default:
+		return "M"
+	}
+}
+
+// MESI models a bus-snooping MESI protocol across n private caches at the
+// protocol level (capacity effects are modelled separately by Cache). It
+// counts the bus events whose energies dominate multicore communication —
+// the "communication becomes a full-fledged partner of computation" shift
+// of the paper's Table 2.
+type MESI struct {
+	n      int
+	states map[uint64][]MESIState
+
+	// BusReads counts BusRd transactions (read misses served by bus).
+	BusReads uint64
+	// BusReadXs counts BusRdX/upgrade transactions (writes needing
+	// ownership).
+	BusReadXs uint64
+	// Invalidations counts remote copies invalidated.
+	Invalidations uint64
+	// CacheToCache counts transfers served by a remote cache instead of
+	// memory.
+	CacheToCache uint64
+	// MemoryFetches counts transfers served by memory.
+	MemoryFetches uint64
+	// Writebacks counts M-state lines flushed to memory.
+	Writebacks uint64
+}
+
+// NewMESI creates a protocol model over n caches.
+func NewMESI(n int) *MESI {
+	if n < 1 {
+		panic("mem: MESI needs at least one cache")
+	}
+	return &MESI{n: n, states: make(map[uint64][]MESIState)}
+}
+
+func (m *MESI) lineStates(addr uint64) []MESIState {
+	st, ok := m.states[addr]
+	if !ok {
+		st = make([]MESIState, m.n)
+		m.states[addr] = st
+	}
+	return st
+}
+
+func (m *MESI) checkCPU(cpu int) {
+	if cpu < 0 || cpu >= m.n {
+		panic(fmt.Sprintf("mem: cpu %d out of range [0,%d)", cpu, m.n))
+	}
+}
+
+// State returns cpu's current state for the line.
+func (m *MESI) State(cpu int, addr uint64) MESIState {
+	m.checkCPU(cpu)
+	if st, ok := m.states[addr]; ok {
+		return st[cpu]
+	}
+	return Invalid
+}
+
+// Read performs a load by cpu on the line at addr.
+func (m *MESI) Read(cpu int, addr uint64) {
+	m.checkCPU(cpu)
+	st := m.lineStates(addr)
+	if st[cpu] != Invalid {
+		return // hit in M/E/S: no bus traffic
+	}
+	m.BusReads++
+	// Any remote copy?
+	remote := false
+	for i, s := range st {
+		if i == cpu || s == Invalid {
+			continue
+		}
+		remote = true
+		if s == Modified {
+			m.Writebacks++ // owner flushes
+		}
+		st[i] = Shared // M/E/S all downgrade to S on a snooped read
+	}
+	if remote {
+		m.CacheToCache++
+		st[cpu] = Shared
+	} else {
+		m.MemoryFetches++
+		st[cpu] = Exclusive
+	}
+}
+
+// Write performs a store by cpu on the line at addr.
+func (m *MESI) Write(cpu int, addr uint64) {
+	m.checkCPU(cpu)
+	st := m.lineStates(addr)
+	switch st[cpu] {
+	case Modified:
+		return // silent hit
+	case Exclusive:
+		st[cpu] = Modified // silent upgrade
+		return
+	}
+	// S or I: need ownership.
+	m.BusReadXs++
+	served := false
+	for i, s := range st {
+		if i == cpu || s == Invalid {
+			continue
+		}
+		if s == Modified {
+			m.Writebacks++
+		}
+		st[i] = Invalid
+		m.Invalidations++
+		served = true
+	}
+	if st[cpu] == Invalid {
+		if served {
+			m.CacheToCache++
+		} else {
+			m.MemoryFetches++
+		}
+	}
+	st[cpu] = Modified
+}
+
+// Invariant checks the single-writer/multi-reader MESI invariant for every
+// tracked line: at most one M or E copy, and M/E exclude any other valid
+// copy. It returns the first violation found, or nil.
+func (m *MESI) Invariant() error {
+	for addr, st := range m.states {
+		owners, sharers := 0, 0
+		for _, s := range st {
+			switch s {
+			case Modified, Exclusive:
+				owners++
+			case Shared:
+				sharers++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("mem: line %#x has %d owners", addr, owners)
+		}
+		if owners == 1 && sharers > 0 {
+			return fmt.Errorf("mem: line %#x owned with %d sharers", addr, sharers)
+		}
+	}
+	return nil
+}

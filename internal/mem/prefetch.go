@@ -1,0 +1,42 @@
+package mem
+
+// Prefetcher is a next-N-line sequential stream prefetcher layered over a
+// hierarchy. Streaming-data support is one of the paper's examples of
+// memory-system specialization (§2.2): for streaming access patterns it
+// converts DRAM-latency misses into hits at the cost of extra prefetch
+// traffic.
+type Prefetcher struct {
+	H *Hierarchy
+	// Degree is how many subsequent lines to prefetch on a miss.
+	Degree int
+	// lastMissLine detects simple ascending streams.
+	lastMissLine uint64
+	// Issued counts prefetch requests sent to the hierarchy.
+	Issued uint64
+}
+
+// NewPrefetcher wraps h with a sequential prefetcher of the given degree.
+func NewPrefetcher(h *Hierarchy, degree int) *Prefetcher {
+	if degree < 1 {
+		panic("mem: prefetch degree must be >= 1")
+	}
+	return &Prefetcher{H: h, Degree: degree}
+}
+
+// Access performs a demand access and, when it detects a sequential miss
+// pattern, prefetches the next Degree lines into the hierarchy.
+func (p *Prefetcher) Access(addr uint64, write bool) (level int, latOut float64) {
+	lineBytes := uint64(p.H.Levels[0].Cache.LineBytes())
+	level, lat, _ := p.H.Access(addr, write)
+	if level > 0 { // missed at least L1
+		lineAddr := addr / lineBytes
+		if lineAddr == p.lastMissLine+1 {
+			for i := 1; i <= p.Degree; i++ {
+				p.H.Access((lineAddr+uint64(i))*lineBytes, false)
+				p.Issued++
+			}
+		}
+		p.lastMissLine = lineAddr
+	}
+	return level, float64(lat)
+}

@@ -1,0 +1,69 @@
+package mem
+
+// Matrix-multiply address-trace generators. The paper's software-level
+// energy agenda asks for "compilation systems and tools that manage and
+// enhance locality" (§2.2); E20 quantifies that by streaming the naive and
+// cache-blocked loop nests of C = A×B through the same hierarchy and
+// comparing misses, latency and energy. Matrices are n×n float64, row
+// major: A at 0, B at n²·8, C at 2n²·8.
+
+// VisitMatMulNaive emits the address stream of the textbook ijk loop nest.
+func VisitMatMulNaive(n int, visit func(addr uint64, write bool)) {
+	aBase, bBase, cBase := uint64(0), uint64(n*n*8), uint64(2*n*n*8)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				visit(aBase+uint64((i*n+k)*8), false)
+				visit(bBase+uint64((k*n+j)*8), false)
+			}
+			visit(cBase+uint64((i*n+j)*8), true)
+		}
+	}
+}
+
+// VisitMatMulBlocked emits the address stream of the cache-blocked loop
+// nest with the given block size (must divide n).
+func VisitMatMulBlocked(n, block int, visit func(addr uint64, write bool)) {
+	if block <= 0 || n%block != 0 {
+		panic("mem: block must divide n")
+	}
+	aBase, bBase, cBase := uint64(0), uint64(n*n*8), uint64(2*n*n*8)
+	for ii := 0; ii < n; ii += block {
+		for jj := 0; jj < n; jj += block {
+			for kk := 0; kk < n; kk += block {
+				for i := ii; i < ii+block; i++ {
+					for j := jj; j < jj+block; j++ {
+						for k := kk; k < kk+block; k++ {
+							visit(aBase+uint64((i*n+k)*8), false)
+							visit(bBase+uint64((k*n+j)*8), false)
+						}
+						visit(cBase+uint64((i*n+j)*8), true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TraceResult summarizes one trace replay through a hierarchy.
+type TraceResult struct {
+	Accesses     uint64
+	DRAMAccesses uint64
+	// AMATSeconds is mean access latency.
+	AMATSeconds float64
+	// EnergyJoules is total access energy.
+	EnergyJoules float64
+}
+
+// ReplayTrace streams a visitor-driven trace through the hierarchy.
+func ReplayTrace(h *Hierarchy, gen func(visit func(addr uint64, write bool))) TraceResult {
+	gen(func(addr uint64, write bool) {
+		h.Access(addr, write)
+	})
+	return TraceResult{
+		Accesses:     h.TotalAccesses,
+		DRAMAccesses: h.DRAMAccesses,
+		AMATSeconds:  float64(h.AMAT()),
+		EnergyJoules: float64(h.TotalEnergy),
+	}
+}

@@ -1,0 +1,86 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestMatMulTracesSameAccessCount(t *testing.T) {
+	const n, block = 32, 8
+	count := func(gen func(func(uint64, bool))) (total, writes uint64) {
+		gen(func(addr uint64, write bool) {
+			total++
+			if write {
+				writes++
+			}
+		})
+		return
+	}
+	nt, nw := count(func(v func(uint64, bool)) { VisitMatMulNaive(n, v) })
+	bt, bw := count(func(v func(uint64, bool)) { VisitMatMulBlocked(n, block, v) })
+	// Naive writes each C element once; blocked re-writes it once per
+	// k-block (the small price paid for A/B reuse).
+	if nt != uint64(2*n*n*n+n*n) {
+		t.Fatalf("naive accesses = %d", nt)
+	}
+	if bt != uint64(2*n*n*n+n*n*(n/block)) {
+		t.Fatalf("blocked accesses = %d", bt)
+	}
+	if nw != uint64(n*n) || bw != uint64(n*n*(n/block)) {
+		t.Fatalf("write counts naive=%d blocked=%d", nw, bw)
+	}
+}
+
+func TestMatMulTracesTouchSameFootprint(t *testing.T) {
+	const n, block = 16, 4
+	foot := func(gen func(func(uint64, bool))) map[uint64]bool {
+		m := map[uint64]bool{}
+		gen(func(addr uint64, _ bool) { m[addr] = true })
+		return m
+	}
+	a := foot(func(v func(uint64, bool)) { VisitMatMulNaive(n, v) })
+	b := foot(func(v func(uint64, bool)) { VisitMatMulBlocked(n, block, v) })
+	if len(a) != len(b) {
+		t.Fatalf("footprints differ: %d vs %d", len(a), len(b))
+	}
+	for addr := range a {
+		if !b[addr] {
+			t.Fatalf("blocked trace missing address %#x", addr)
+		}
+	}
+}
+
+func TestBlockedBeatsNaiveOnMisses(t *testing.T) {
+	const n, block = 96, 8 // working set (3*96²*8 = 216KB) exceeds L1+L2
+	naive := ReplayTrace(EmbeddedHierarchy(energy.Table45()),
+		func(v func(uint64, bool)) { VisitMatMulNaive(n, v) })
+	blocked := ReplayTrace(EmbeddedHierarchy(energy.Table45()),
+		func(v func(uint64, bool)) { VisitMatMulBlocked(n, block, v) })
+	// Blocked issues slightly more accesses (C rewrites per k-block) but
+	// must still win on both latency and total energy.
+	if blocked.Accesses <= naive.Accesses {
+		t.Fatal("blocked trace should carry the extra C traffic")
+	}
+	if blocked.AMATSeconds >= naive.AMATSeconds {
+		t.Fatalf("blocking should cut AMAT: %v vs %v",
+			blocked.AMATSeconds, naive.AMATSeconds)
+	}
+	if blocked.DRAMAccesses >= naive.DRAMAccesses/2 {
+		t.Fatalf("blocking should cut DRAM traffic at least 2x: %d vs %d",
+			blocked.DRAMAccesses, naive.DRAMAccesses)
+	}
+	if blocked.EnergyJoules >= naive.EnergyJoules {
+		t.Fatalf("blocking should cut energy: %v vs %v",
+			blocked.EnergyJoules, naive.EnergyJoules)
+	}
+}
+
+func TestBlockedPanicsOnBadBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-dividing block did not panic")
+		}
+	}()
+	VisitMatMulBlocked(10, 3, func(uint64, bool) {})
+}

@@ -1,0 +1,17 @@
+package multicore_test
+
+import (
+	"fmt"
+
+	"repro/internal/multicore"
+)
+
+// Hill-Marty on a 256-BCE chip with 97.5% parallel code: the asymmetric
+// organization beats the best symmetric one.
+func ExampleAsymmetricSpeedup() {
+	f, n := 0.975, 256.0
+	_, sym := multicore.OptimalSymmetricR(f, n)
+	asym := multicore.AsymmetricSpeedup(f, n, 64)
+	fmt.Printf("symmetric best %.0fx, asymmetric(r=64) %.0fx\n", sym, asym)
+	// Output: symmetric best 51x, asymmetric(r=64) 125x
+}

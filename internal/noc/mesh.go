@@ -1,0 +1,176 @@
+// Package noc models on-chip and cross-chip interconnect: 2D and
+// 3D-stacked meshes with XY(Z) routing, electrical versus photonic link
+// energy/latency, and Rent's-rule pin constraints — the substrate for the
+// paper's claims that communication now costs more than computation and
+// that 3D stacking and photonics "change communication costs radically
+// enough to affect the entire system design" (§1.2, §2.3).
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Mesh is a W×H×Layers mesh NoC with dimension-ordered (XY then Z) routing.
+// Layers == 1 gives a planar 2D mesh; Layers > 1 models a 3D stack whose
+// vertical hops ride cheap TSVs.
+type Mesh struct {
+	W, H, Layers int
+	// TileMM is the side length of one tile in millimetres (link length).
+	TileMM float64
+	// RouterLatency is per-router traversal time.
+	RouterLatency units.Time
+	// RouterEnergyPerFlit is per-router energy for one 64-bit flit.
+	RouterEnergyPerFlit units.Energy
+	// WirePerBitMM is planar link energy per bit per mm.
+	WirePerBitMM units.Energy
+	// TSVPerBit is vertical hop energy per bit.
+	TSVPerBit units.Energy
+	// TSVLatency is vertical hop time.
+	TSVLatency units.Time
+}
+
+// NewMesh2D returns a W×H planar mesh with default 45nm-class parameters.
+func NewMesh2D(w, h int) *Mesh {
+	return &Mesh{
+		W: w, H: h, Layers: 1,
+		TileMM:              1.5,
+		RouterLatency:       1 * units.Nanosecond,
+		RouterEnergyPerFlit: 5 * units.Picojoule,
+		WirePerBitMM:        0.2 * units.Picojoule,
+		TSVPerBit:           0.05 * units.Picojoule,
+		TSVLatency:          0.1 * units.Nanosecond,
+	}
+}
+
+// NewMesh3D folds the same node count as a w×h planar mesh into the given
+// number of stacked layers (w×h must be divisible by layers).
+func NewMesh3D(w, h, layers int) *Mesh {
+	if (w*h)%layers != 0 {
+		panic(fmt.Sprintf("noc: %dx%d nodes not divisible into %d layers", w, h, layers))
+	}
+	m := NewMesh2D(w, h)
+	// Shrink the footprint: keep aspect ratio by scaling both dims.
+	scale := math.Sqrt(float64(layers))
+	m.W = int(math.Max(1, math.Round(float64(w)/scale)))
+	m.H = (w * h) / (m.W * layers)
+	m.Layers = layers
+	return m
+}
+
+// Nodes returns the total node count.
+func (m *Mesh) Nodes() int { return m.W * m.H * m.Layers }
+
+// Coord is a mesh coordinate.
+type Coord struct{ X, Y, Z int }
+
+// NodeCoord maps a node index to its coordinate (x fastest).
+func (m *Mesh) NodeCoord(id int) Coord {
+	if id < 0 || id >= m.Nodes() {
+		panic(fmt.Sprintf("noc: node %d out of range", id))
+	}
+	return Coord{
+		X: id % m.W,
+		Y: (id / m.W) % m.H,
+		Z: id / (m.W * m.H),
+	}
+}
+
+// Hops returns planar and vertical hop counts between two nodes under
+// dimension-ordered routing.
+func (m *Mesh) Hops(src, dst int) (planar, vertical int) {
+	a, b := m.NodeCoord(src), m.NodeCoord(dst)
+	planar = abs(a.X-b.X) + abs(a.Y-b.Y)
+	vertical = abs(a.Z - b.Z)
+	return planar, vertical
+}
+
+// Latency returns the head latency of a 64-bit flit from src to dst:
+// router traversals (hops+1) plus wire/TSV flight time (wire flight is
+// folded into router latency at these scales).
+func (m *Mesh) Latency(src, dst int) units.Time {
+	p, v := m.Hops(src, dst)
+	return units.Time(float64(p+v+1))*m.RouterLatency + units.Time(float64(v))*m.TSVLatency
+}
+
+// Energy returns transport energy for bits bits from src to dst.
+func (m *Mesh) Energy(src, dst int, bits float64) units.Energy {
+	p, v := m.Hops(src, dst)
+	routers := float64(p+v+1) * float64(m.RouterEnergyPerFlit) * bits / 64
+	wires := float64(p) * m.TileMM * float64(m.WirePerBitMM) * bits
+	tsvs := float64(v) * float64(m.TSVPerBit) * bits
+	return units.Energy(routers + wires + tsvs)
+}
+
+// MeanHops returns the exact mean planar+vertical hop count over all
+// ordered src≠dst pairs under uniform random traffic.
+func (m *Mesh) MeanHops() float64 {
+	n := m.Nodes()
+	if n < 2 {
+		return 0
+	}
+	total := 0.0
+	// Mean |a-b| over a dimension of size k (uniform independent) equals
+	// (k²-1)/(3k); summing per-dimension means and correcting for the
+	// excluded self-pairs keeps this O(1).
+	dims := []int{m.W, m.H, m.Layers}
+	for _, k := range dims {
+		total += (float64(k)*float64(k) - 1) / (3 * float64(k))
+	}
+	// Uniform over all pairs including self; excluding self scales by
+	// n/(n-1).
+	return total * float64(n) / float64(n-1)
+}
+
+// MeanLatency returns mean flit latency under uniform random traffic at low
+// load (no contention).
+func (m *Mesh) MeanLatency() units.Time {
+	// Approximate: treat mean hops as planar unless the mesh is stacked,
+	// in which case apportion by expected per-dimension distances.
+	n := float64(m.Nodes())
+	if n < 2 {
+		return m.RouterLatency
+	}
+	planar := ((float64(m.W)*float64(m.W)-1)/(3*float64(m.W)) +
+		(float64(m.H)*float64(m.H)-1)/(3*float64(m.H))) * n / (n - 1)
+	vertical := ((float64(m.Layers)*float64(m.Layers) - 1) /
+		(3 * float64(m.Layers))) * n / (n - 1)
+	return units.Time(planar+vertical+1)*m.RouterLatency +
+		units.Time(vertical)*m.TSVLatency
+}
+
+// MeanEnergyPerFlit returns mean 64-bit-flit transport energy under uniform
+// random traffic.
+func (m *Mesh) MeanEnergyPerFlit() units.Energy {
+	n := float64(m.Nodes())
+	if n < 2 {
+		return m.RouterEnergyPerFlit
+	}
+	planar := ((float64(m.W)*float64(m.W)-1)/(3*float64(m.W)) +
+		(float64(m.H)*float64(m.H)-1)/(3*float64(m.H))) * n / (n - 1)
+	vertical := ((float64(m.Layers)*float64(m.Layers) - 1) /
+		(3 * float64(m.Layers))) * n / (n - 1)
+	routers := (planar + vertical + 1) * float64(m.RouterEnergyPerFlit)
+	wires := planar * m.TileMM * float64(m.WirePerBitMM) * 64
+	tsvs := vertical * float64(m.TSVPerBit) * 64
+	return units.Energy(routers + wires + tsvs)
+}
+
+// BisectionLinks returns the number of links crossing the mesh's narrowest
+// bisection, the first-order throughput limit.
+func (m *Mesh) BisectionLinks() int {
+	// Cut across the larger planar dimension.
+	if m.W >= m.H {
+		return m.H * m.Layers
+	}
+	return m.W * m.Layers
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,203 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestMeshCoords(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	if m.Nodes() != 16 {
+		t.Fatal("node count")
+	}
+	c := m.NodeCoord(5)
+	if c.X != 1 || c.Y != 1 || c.Z != 0 {
+		t.Fatalf("coord of 5 = %+v", c)
+	}
+	c = m.NodeCoord(15)
+	if c.X != 3 || c.Y != 3 {
+		t.Fatalf("coord of 15 = %+v", c)
+	}
+}
+
+func TestMeshCoordPanics(t *testing.T) {
+	m := NewMesh2D(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad node id did not panic")
+		}
+	}()
+	m.NodeCoord(4)
+}
+
+func TestMeshHops(t *testing.T) {
+	m := NewMesh2D(4, 4)
+	p, v := m.Hops(0, 15) // (0,0) -> (3,3)
+	if p != 6 || v != 0 {
+		t.Fatalf("hops = %d,%d want 6,0", p, v)
+	}
+	p, v = m.Hops(5, 5)
+	if p != 0 || v != 0 {
+		t.Fatal("self hops should be 0")
+	}
+}
+
+func TestMesh3DFoldsFootprint(t *testing.T) {
+	flat := NewMesh2D(8, 8)
+	stacked := NewMesh3D(8, 8, 4)
+	if stacked.Nodes() != flat.Nodes() {
+		t.Fatalf("3D mesh lost nodes: %d vs %d", stacked.Nodes(), flat.Nodes())
+	}
+	if stacked.Layers != 4 {
+		t.Fatal("layer count wrong")
+	}
+	// Stacking cuts mean latency and energy for the same node count —
+	// the paper's 3D claim.
+	if float64(stacked.MeanLatency()) >= float64(flat.MeanLatency()) {
+		t.Fatalf("3D latency %v should beat 2D %v", stacked.MeanLatency(), flat.MeanLatency())
+	}
+	if float64(stacked.MeanEnergyPerFlit()) >= float64(flat.MeanEnergyPerFlit()) {
+		t.Fatalf("3D energy %v should beat 2D %v",
+			stacked.MeanEnergyPerFlit(), flat.MeanEnergyPerFlit())
+	}
+}
+
+func TestMesh3DPanicsOnBadLayers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad layer split did not panic")
+		}
+	}()
+	NewMesh3D(3, 3, 2)
+}
+
+func TestMeanHopsMatchesBruteForce(t *testing.T) {
+	m := NewMesh2D(4, 3)
+	n := m.Nodes()
+	sum, cnt := 0.0, 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p, v := m.Hops(s, d)
+			sum += float64(p + v)
+			cnt++
+		}
+	}
+	brute := sum / float64(cnt)
+	if math.Abs(m.MeanHops()-brute) > 1e-9 {
+		t.Fatalf("MeanHops = %v, brute force = %v", m.MeanHops(), brute)
+	}
+}
+
+// Property: hop counts are symmetric and satisfy the triangle inequality.
+func TestQuickHopMetric(t *testing.T) {
+	m := NewMesh3D(4, 4, 2)
+	n := m.Nodes()
+	f := func(aRaw, bRaw, cRaw uint16) bool {
+		a, b, c := int(aRaw)%n, int(bRaw)%n, int(cRaw)%n
+		pab, vab := m.Hops(a, b)
+		pba, vba := m.Hops(b, a)
+		if pab != pba || vab != vba {
+			return false
+		}
+		pac, vac := m.Hops(a, c)
+		pcb, vcb := m.Hops(c, b)
+		return pab+vab <= pac+vac+pcb+vcb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshEnergyGrowsWithDistance(t *testing.T) {
+	m := NewMesh2D(8, 8)
+	near := m.Energy(0, 1, 64)
+	far := m.Energy(0, 63, 64)
+	if far <= near {
+		t.Fatal("far transport should cost more")
+	}
+	// Latency likewise.
+	if m.Latency(0, 63) <= m.Latency(0, 1) {
+		t.Fatal("far latency should be higher")
+	}
+}
+
+func TestBisection(t *testing.T) {
+	if NewMesh2D(8, 4).BisectionLinks() != 4 {
+		t.Fatal("8x4 bisection should be 4")
+	}
+	if NewMesh3D(8, 8, 4).BisectionLinks() == 0 {
+		t.Fatal("3D bisection zero")
+	}
+}
+
+func TestLinkEnergyShapes(t *testing.T) {
+	links := StandardLinks()
+	elec, phot := links[0], links[1]
+	// Short distance: electrical wins.
+	if elec.EnergyPerBit(1) >= phot.EnergyPerBit(1) {
+		t.Fatal("electrical should win at 1mm")
+	}
+	// Long distance: photonic wins.
+	if phot.EnergyPerBit(100) >= elec.EnergyPerBit(100) {
+		t.Fatal("photonic should win at 100mm")
+	}
+	cross := ElectricalPhotonicCrossoverMM(elec, phot)
+	if cross <= 1 || cross >= 100 {
+		t.Fatalf("crossover = %vmm, want in (1,100)", cross)
+	}
+	// At the crossover the energies match.
+	d := math.Abs(float64(elec.EnergyPerBit(cross) - phot.EnergyPerBit(cross)))
+	if d > 1e-15 {
+		t.Fatalf("energies differ at crossover by %v", d)
+	}
+}
+
+func TestLinkLatency(t *testing.T) {
+	phot := StandardLinks()[1]
+	l := phot.Latency(200) // 200mm at 200mm/ns = 1ns
+	if math.Abs(float64(l)-1e-9) > 1e-15 {
+		t.Fatalf("photonic 200mm latency = %v", l)
+	}
+}
+
+func TestCommComputeCrossover(t *testing.T) {
+	elec := StandardLinks()[0]
+	fpOp := 50 * units.Picojoule
+	cross := CommComputeCrossoverMM(elec, fpOp)
+	// 50pJ / (0.2pJ/bit/mm * 64 bits) ≈ 3.9mm: on-chip scale, as the paper
+	// argues (communication rivals computation within a chip).
+	if cross < 1 || cross > 10 {
+		t.Fatalf("comm/compute crossover = %vmm, want a few mm", cross)
+	}
+	// A cheaper op crosses over sooner.
+	intOp := 1 * units.Picojoule
+	if CommComputeCrossoverMM(elec, intOp) >= cross {
+		t.Fatal("cheaper ops should cross over sooner")
+	}
+}
+
+func TestRentPins(t *testing.T) {
+	// Doubling gates with p=0.6 grows pins by 2^0.6 ≈ 1.52 — sublinear.
+	ratio := RentPins(1, 2e6, 0.6) / RentPins(1, 1e6, 0.6)
+	if math.Abs(ratio-math.Pow(2, 0.6)) > 1e-9 {
+		t.Fatalf("rent ratio = %v", ratio)
+	}
+	// Bandwidth gap grows with scaling.
+	if PinBandwidthGap(64, 0.6) <= PinBandwidthGap(8, 0.6) {
+		t.Fatal("pin gap should grow with integration")
+	}
+}
+
+func TestEnergyPerBitZeroDistance(t *testing.T) {
+	for _, l := range StandardLinks() {
+		if l.EnergyPerBit(0) != l.PerBitFixed {
+			t.Fatalf("%v: zero-distance energy should be the fixed cost", l.Kind)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package nvm
+
+import (
+	"repro/internal/units"
+)
+
+// Stack is a two-level memory/storage organization: a working-memory device
+// plus a persistence device. The legacy stack is DRAM+disk (or DRAM+flash);
+// the paper's "rethink" collapses the dichotomy with NVM as both memory and
+// storage.
+type Stack struct {
+	Name string
+	// Memory serves loads/stores of the working set.
+	Memory Device
+	// Storage serves persists (durable writes) and cold loads. When
+	// Storage == Memory (single-level NVM stack), persists are ordinary
+	// memory writes.
+	Storage Device
+	// SingleLevel marks a collapsed stack (persist == memory write).
+	SingleLevel bool
+}
+
+// LegacyStack is DRAM backed by disk.
+func LegacyStack() Stack { return Stack{Name: "dram+disk", Memory: DRAM, Storage: Disk} }
+
+// FlashStack is DRAM backed by NAND flash.
+func FlashStack() Stack { return Stack{Name: "dram+flash", Memory: DRAM, Storage: Flash} }
+
+// NVMStack is a collapsed single-level PCM stack.
+func NVMStack() Stack {
+	return Stack{Name: "pcm-single-level", Memory: PCM, Storage: PCM, SingleLevel: true}
+}
+
+// HybridStack is a DRAM cache in front of PCM; persists go to PCM, hits in
+// the DRAM tier serve reads.
+func HybridStack() Stack { return Stack{Name: "dram+pcm-hybrid", Memory: DRAM, Storage: PCM} }
+
+// ReadLatency returns the latency of a working-set read (always served by
+// Memory).
+func (s Stack) ReadLatency() units.Time { return s.Memory.ReadLatency }
+
+// PersistLatency returns the latency of one durable write.
+func (s Stack) PersistLatency() units.Time {
+	if s.SingleLevel {
+		return s.Memory.WriteLatency
+	}
+	return s.Storage.WriteLatency
+}
+
+// PersistEnergy returns the energy of one durable 64-bit write.
+func (s Stack) PersistEnergy() units.Energy {
+	if s.SingleLevel {
+		return s.Memory.WriteEnergy
+	}
+	return s.Storage.WriteEnergy
+}
+
+// IdlePower returns background power for memGB of working set and storGB of
+// persistent data.
+func (s Stack) IdlePower(memGB, storGB float64) units.Power {
+	if s.SingleLevel {
+		return s.Memory.IdlePowerPerGB * units.Power(memGB+storGB)
+	}
+	return s.Memory.IdlePowerPerGB*units.Power(memGB) +
+		s.Storage.IdlePowerPerGB*units.Power(storGB)
+}
+
+// TxnWorkload models a transactional workload: each transaction performs
+// reads of the working set and durable writes.
+type TxnWorkload struct {
+	ReadsPerTxn    int
+	PersistsPerTxn int
+}
+
+// TxnLatency returns one transaction's memory+persist latency on the stack
+// (persists serialized, reads pipelined at memory latency).
+func (s Stack) TxnLatency(w TxnWorkload) units.Time {
+	return units.Time(float64(w.ReadsPerTxn))*s.ReadLatency() +
+		units.Time(float64(w.PersistsPerTxn))*s.PersistLatency()
+}
+
+// TxnEnergy returns one transaction's access energy on the stack.
+func (s Stack) TxnEnergy(w TxnWorkload) units.Energy {
+	return units.Energy(float64(w.ReadsPerTxn))*s.Memory.ReadEnergy +
+		units.Energy(float64(w.PersistsPerTxn))*s.PersistEnergy()
+}

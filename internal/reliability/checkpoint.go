@@ -1,0 +1,54 @@
+package reliability
+
+import "math"
+
+// Checkpointing models the classic checkpoint/restart tradeoff behind the
+// paper's call to "architect ways of continuously monitoring system health
+// ... and applying contingency actions" (§2.4): checkpoint too often and
+// overhead dominates; too rarely and re-execution after failures does.
+type Checkpointing struct {
+	// MTTF is the system's mean time to failure (seconds). For an N-node
+	// machine this is the node MTTF divided by N — why exascale systems
+	// made this problem urgent.
+	MTTF float64
+	// CheckpointCost is the time to write one checkpoint (seconds).
+	CheckpointCost float64
+	// RestartCost is the time to restore after a failure (seconds).
+	RestartCost float64
+}
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// √(2·C·MTTF).
+func (c Checkpointing) YoungInterval() float64 {
+	return math.Sqrt(2 * c.CheckpointCost * c.MTTF)
+}
+
+// Efficiency returns the fraction of wall-clock time spent on useful work
+// when checkpointing every tau seconds, using the standard first-order
+// model: overhead = C/tau (checkpoint cost) + (tau/2 + R)/MTTF
+// (expected rework plus restart per failure).
+func (c Checkpointing) Efficiency(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	overhead := c.CheckpointCost/tau + (tau/2+c.RestartCost)/c.MTTF
+	e := 1 - overhead
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// OptimalEfficiency returns the efficiency at Young's interval.
+func (c Checkpointing) OptimalEfficiency() float64 {
+	return c.Efficiency(c.YoungInterval())
+}
+
+// SystemMTTF scales a per-node MTTF to an N-node system (independent
+// exponential failures).
+func SystemMTTF(nodeMTTF float64, nodes int) float64 {
+	if nodes < 1 {
+		return 0
+	}
+	return nodeMTTF / float64(nodes)
+}

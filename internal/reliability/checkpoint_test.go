@@ -1,0 +1,85 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYoungInterval(t *testing.T) {
+	c := Checkpointing{MTTF: 7200, CheckpointCost: 60, RestartCost: 120}
+	want := math.Sqrt(2 * 60 * 7200)
+	if math.Abs(c.YoungInterval()-want) > 1e-9 {
+		t.Fatalf("young = %v, want %v", c.YoungInterval(), want)
+	}
+}
+
+func TestYoungIsNearOptimal(t *testing.T) {
+	c := Checkpointing{MTTF: 7200, CheckpointCost: 60, RestartCost: 120}
+	best := 0.0
+	for tau := 100.0; tau < 10000; tau += 50 {
+		if e := c.Efficiency(tau); e > best {
+			best = e
+		}
+	}
+	if c.OptimalEfficiency() < best-0.005 {
+		t.Fatalf("young efficiency %v far from grid optimum %v",
+			c.OptimalEfficiency(), best)
+	}
+}
+
+func TestEfficiencyShape(t *testing.T) {
+	c := Checkpointing{MTTF: 7200, CheckpointCost: 60, RestartCost: 120}
+	tooOften := c.Efficiency(10)
+	right := c.OptimalEfficiency()
+	tooRare := c.Efficiency(50000)
+	if right <= tooOften || right <= tooRare {
+		t.Fatalf("U-shape violated: %v %v %v", tooOften, right, tooRare)
+	}
+	if c.Efficiency(0) != 0 {
+		t.Fatal("zero interval should be zero efficiency")
+	}
+}
+
+func TestScaleErodesEfficiency(t *testing.T) {
+	// The exascale resilience problem: same node MTTF, more nodes.
+	nodeMTTF := 5.0 * 365 * 86400 // 5-year node MTTF
+	small := Checkpointing{MTTF: SystemMTTF(nodeMTTF, 1000),
+		CheckpointCost: 120, RestartCost: 300}
+	big := Checkpointing{MTTF: SystemMTTF(nodeMTTF, 100000),
+		CheckpointCost: 120, RestartCost: 300}
+	if big.OptimalEfficiency() >= small.OptimalEfficiency() {
+		t.Fatal("scaling up should erode checkpoint efficiency")
+	}
+	if small.OptimalEfficiency() < 0.9 {
+		t.Fatalf("1000-node efficiency = %v, want > 0.9", small.OptimalEfficiency())
+	}
+	if big.OptimalEfficiency() > 0.9 {
+		t.Fatalf("100k-node efficiency = %v, want < 0.9", big.OptimalEfficiency())
+	}
+}
+
+func TestSystemMTTF(t *testing.T) {
+	if SystemMTTF(1000, 10) != 100 {
+		t.Fatal("MTTF scaling wrong")
+	}
+	if SystemMTTF(1000, 0) != 0 {
+		t.Fatal("zero nodes should be zero")
+	}
+}
+
+// Property: efficiency is in [0,1] for all positive parameters.
+func TestQuickEfficiencyBounds(t *testing.T) {
+	f := func(mttfRaw, costRaw, tauRaw uint16) bool {
+		c := Checkpointing{
+			MTTF:           float64(mttfRaw) + 1,
+			CheckpointCost: float64(costRaw)/100 + 0.01,
+			RestartCost:    1,
+		}
+		e := c.Efficiency(float64(tauRaw) + 1)
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package reliability_test
+
+import (
+	"fmt"
+
+	"repro/internal/reliability"
+)
+
+// SECDED in one breath: a flipped bit is corrected transparently.
+func ExampleDecode() {
+	cw := reliability.Encode(0xDEADBEEF)
+	cw.FlipBit(13) // particle strike
+	data, status := reliability.Decode(cw)
+	fmt.Printf("%#x %v\n", data, status)
+	// Output: 0xdeadbeef corrected
+}
+
+// Five nines from commodity parts: the paper's Table A.2 cost collapse.
+func ExampleReplicasForTarget() {
+	n, _ := reliability.ReplicasForTarget(0.99, 0.99999)
+	fmt.Printf("%d replicas\n", n)
+	// Output: 3 replicas
+}

@@ -1,0 +1,195 @@
+// Package sched implements heterogeneous task scheduling onto mixes of big
+// cores, little cores, and accelerators under power caps — the paper's
+// "heterogeneous clusters, with simple computational cores and custom,
+// high-performance functional units that work together in concert" (§2.2).
+//
+// It provides three policies (performance-greedy, energy-aware, round-robin
+// baseline) over an event-driven executor, and reports makespan, energy,
+// and deadline misses.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Proc is one execution unit of a heterogeneous chip.
+type Proc struct {
+	// Name identifies the unit.
+	Name string
+	// Rate maps kernel name to ops/s on this unit. Kernels absent from the
+	// map run at DefaultRate (0 = cannot run here).
+	Rate map[string]float64
+	// DefaultRate is ops/s for unlisted kernels.
+	DefaultRate float64
+	// ActivePower is watts while busy.
+	ActivePower float64
+	// IdlePower is watts while idle.
+	IdlePower float64
+}
+
+// RateFor returns this unit's throughput for the kernel (0 if unsupported).
+func (p Proc) RateFor(kernel string) float64 {
+	if r, ok := p.Rate[kernel]; ok {
+		return r
+	}
+	return p.DefaultRate
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// Kernel selects which rates apply.
+	Kernel string
+	// Ops is the work amount.
+	Ops float64
+	// Deadline is the absolute completion deadline in seconds (0 = none).
+	Deadline float64
+}
+
+// Policy selects a scheduling strategy.
+type Policy int
+
+// The implemented policies.
+const (
+	// GreedyPerf assigns each task to the unit minimizing its finish time.
+	GreedyPerf Policy = iota
+	// EnergyAware assigns each task to the unit minimizing energy among
+	// those that can still meet the task's deadline (falling back to
+	// fastest when none can).
+	EnergyAware
+	// RoundRobin is the locality/heterogeneity-oblivious baseline.
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case GreedyPerf:
+		return "greedy-perf"
+	case EnergyAware:
+		return "energy-aware"
+	default:
+		return "round-robin"
+	}
+}
+
+// Result reports one scheduling run.
+type Result struct {
+	// Makespan is when the last task finishes.
+	Makespan float64
+	// EnergyJ is total energy: active execution plus idle power of every
+	// unit until the makespan.
+	EnergyJ float64
+	// Missed counts tasks finishing after their deadline.
+	Missed int
+	// PerProcBusy maps unit name to busy seconds.
+	PerProcBusy map[string]float64
+}
+
+// Schedule runs the task list (released at time 0, processed in order)
+// against the units under the policy.
+func Schedule(tasks []Task, procs []Proc, policy Policy) Result {
+	if len(procs) == 0 {
+		panic("sched: no processors")
+	}
+	free := make([]float64, len(procs)) // next-free time per proc
+	busy := make([]float64, len(procs))
+	energy := 0.0
+	res := Result{PerProcBusy: make(map[string]float64)}
+	rr := 0
+
+	for _, t := range tasks {
+		best := -1
+		bestKey := math.Inf(1)
+		switch policy {
+		case RoundRobin:
+			// Next unit that can run the kernel at all.
+			for k := 0; k < len(procs); k++ {
+				cand := (rr + k) % len(procs)
+				if procs[cand].RateFor(t.Kernel) > 0 {
+					best = cand
+					rr = cand + 1
+					break
+				}
+			}
+		case GreedyPerf:
+			for i, p := range procs {
+				rate := p.RateFor(t.Kernel)
+				if rate <= 0 {
+					continue
+				}
+				finish := free[i] + t.Ops/rate
+				if finish < bestKey {
+					bestKey, best = finish, i
+				}
+			}
+		case EnergyAware:
+			// Minimize energy among deadline-feasible units.
+			bestFeasible, bestFeasibleE := -1, math.Inf(1)
+			bestFinish, bestFinishT := -1, math.Inf(1)
+			for i, p := range procs {
+				rate := p.RateFor(t.Kernel)
+				if rate <= 0 {
+					continue
+				}
+				dur := t.Ops / rate
+				finish := free[i] + dur
+				e := dur * p.ActivePower
+				if finish < bestFinishT {
+					bestFinishT, bestFinish = finish, i
+				}
+				if (t.Deadline == 0 || finish <= t.Deadline) && e < bestFeasibleE {
+					bestFeasibleE, bestFeasible = e, i
+				}
+			}
+			if bestFeasible >= 0 {
+				best = bestFeasible
+			} else {
+				best = bestFinish
+			}
+		}
+		if best < 0 {
+			panic(fmt.Sprintf("sched: no unit can run kernel %q", t.Kernel))
+		}
+		p := procs[best]
+		dur := t.Ops / p.RateFor(t.Kernel)
+		start := free[best]
+		finish := start + dur
+		free[best] = finish
+		busy[best] += dur
+		energy += dur * p.ActivePower
+		if t.Deadline > 0 && finish > t.Deadline {
+			res.Missed++
+		}
+	}
+	for i, f := range free {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+		res.PerProcBusy[procs[i].Name] += busy[i]
+	}
+	// Idle energy until makespan.
+	for i, p := range procs {
+		idle := res.Makespan - busy[i]
+		if idle > 0 {
+			energy += idle * p.IdlePower
+		}
+	}
+	res.EnergyJ = energy
+	return res
+}
+
+// StandardHeteroChip returns a representative iPad-class chip (the paper's
+// example of half the die spent on specialized units): two big cores, four
+// little cores, and conv/crypto accelerators.
+func StandardHeteroChip() []Proc {
+	return []Proc{
+		{Name: "big0", DefaultRate: 4e9, ActivePower: 2.0, IdlePower: 0.05},
+		{Name: "big1", DefaultRate: 4e9, ActivePower: 2.0, IdlePower: 0.05},
+		{Name: "lil0", DefaultRate: 1e9, ActivePower: 0.3, IdlePower: 0.01},
+		{Name: "lil1", DefaultRate: 1e9, ActivePower: 0.3, IdlePower: 0.01},
+		{Name: "lil2", DefaultRate: 1e9, ActivePower: 0.3, IdlePower: 0.01},
+		{Name: "lil3", DefaultRate: 1e9, ActivePower: 0.3, IdlePower: 0.01},
+		{Name: "conv-npu", Rate: map[string]float64{"conv": 4e10}, ActivePower: 1.0, IdlePower: 0.02},
+		{Name: "crypto-eng", Rate: map[string]float64{"crypto": 2e10}, ActivePower: 0.5, IdlePower: 0.01},
+	}
+}

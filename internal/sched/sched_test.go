@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func twoProcChip() []Proc {
+	return []Proc{
+		{Name: "big", DefaultRate: 4e9, ActivePower: 2.0, IdlePower: 0.05},
+		{Name: "lil", DefaultRate: 1e9, ActivePower: 0.3, IdlePower: 0.01},
+	}
+}
+
+func TestGreedyPerfUsesFastUnit(t *testing.T) {
+	tasks := []Task{{Kernel: "any", Ops: 4e9}}
+	r := Schedule(tasks, twoProcChip(), GreedyPerf)
+	if r.PerProcBusy["big"] == 0 {
+		t.Fatal("greedy-perf should use the big core for a lone task")
+	}
+	if r.Makespan != 1.0 {
+		t.Fatalf("makespan = %v, want 1.0", r.Makespan)
+	}
+}
+
+func TestEnergyAwarePrefersLittleWhenSlack(t *testing.T) {
+	// Deadline is loose: the little core (4s, 1.2J) beats big (1s, 2J).
+	tasks := []Task{{Kernel: "any", Ops: 4e9, Deadline: 10}}
+	r := Schedule(tasks, twoProcChip(), EnergyAware)
+	if r.PerProcBusy["lil"] == 0 {
+		t.Fatal("energy-aware should pick the little core with slack")
+	}
+	if r.Missed != 0 {
+		t.Fatal("deadline should be met")
+	}
+}
+
+func TestEnergyAwareFallsBackUnderTightDeadline(t *testing.T) {
+	tasks := []Task{{Kernel: "any", Ops: 4e9, Deadline: 1.5}}
+	r := Schedule(tasks, twoProcChip(), EnergyAware)
+	if r.PerProcBusy["big"] == 0 {
+		t.Fatal("tight deadline should force the big core")
+	}
+	if r.Missed != 0 {
+		t.Fatal("big core meets the deadline")
+	}
+}
+
+func TestEnergyAwareBeatsGreedyOnEnergy(t *testing.T) {
+	var tasks []Task
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, Task{Kernel: "any", Ops: 1e9, Deadline: 100})
+	}
+	greedy := Schedule(tasks, twoProcChip(), GreedyPerf)
+	ea := Schedule(tasks, twoProcChip(), EnergyAware)
+	if ea.EnergyJ >= greedy.EnergyJ {
+		t.Fatalf("energy-aware %vJ should beat greedy %vJ", ea.EnergyJ, greedy.EnergyJ)
+	}
+	if ea.Missed > 0 {
+		t.Fatal("energy-aware missed deadlines it had slack for")
+	}
+}
+
+func TestAcceleratorAttractsItsKernel(t *testing.T) {
+	chip := StandardHeteroChip()
+	tasks := []Task{
+		{Kernel: "conv", Ops: 4e10},
+		{Kernel: "crypto", Ops: 2e10},
+	}
+	r := Schedule(tasks, chip, GreedyPerf)
+	if r.PerProcBusy["conv-npu"] == 0 {
+		t.Fatal("conv task should land on the NPU")
+	}
+	if r.PerProcBusy["crypto-eng"] == 0 {
+		t.Fatal("crypto task should land on the crypto engine")
+	}
+	if r.Makespan > 1.01 {
+		t.Fatalf("accelerated makespan = %v, want ~1s", r.Makespan)
+	}
+}
+
+func TestRoundRobinSkipsIncapableUnits(t *testing.T) {
+	chip := []Proc{
+		{Name: "gp", DefaultRate: 1e9, ActivePower: 1},
+		{Name: "npu", Rate: map[string]float64{"conv": 1e10}, ActivePower: 1},
+	}
+	tasks := []Task{
+		{Kernel: "sort", Ops: 1e9},
+		{Kernel: "sort", Ops: 1e9},
+	}
+	r := Schedule(tasks, chip, RoundRobin)
+	if r.PerProcBusy["npu"] != 0 {
+		t.Fatal("round-robin must not send sort to the NPU")
+	}
+	if r.PerProcBusy["gp"] == 0 {
+		t.Fatal("gp should have run both tasks")
+	}
+}
+
+func TestUnrunnableKernelPanics(t *testing.T) {
+	chip := []Proc{{Name: "npu", Rate: map[string]float64{"conv": 1e10}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unrunnable kernel did not panic")
+		}
+	}()
+	Schedule([]Task{{Kernel: "sort", Ops: 1}}, chip, GreedyPerf)
+}
+
+func TestNoProcsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no procs did not panic")
+		}
+	}()
+	Schedule(nil, nil, GreedyPerf)
+}
+
+func TestDeadlineMissCounted(t *testing.T) {
+	chip := []Proc{{Name: "slow", DefaultRate: 1e6, ActivePower: 1}}
+	r := Schedule([]Task{{Kernel: "any", Ops: 1e9, Deadline: 1}}, chip, GreedyPerf)
+	if r.Missed != 1 {
+		t.Fatalf("missed = %d, want 1", r.Missed)
+	}
+}
+
+// Property: makespan is at least the largest single-task duration on the
+// fastest capable unit, and energy is positive when work exists.
+func TestQuickScheduleSanity(t *testing.T) {
+	chip := StandardHeteroChip()
+	f := func(opsRaw []uint16) bool {
+		if len(opsRaw) == 0 {
+			return true
+		}
+		if len(opsRaw) > 30 {
+			opsRaw = opsRaw[:30]
+		}
+		var tasks []Task
+		for _, o := range opsRaw {
+			tasks = append(tasks, Task{Kernel: "any", Ops: float64(o) + 1})
+		}
+		for _, pol := range []Policy{GreedyPerf, EnergyAware, RoundRobin} {
+			r := Schedule(tasks, chip, pol)
+			if r.Makespan <= 0 || r.EnergyJ <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if GreedyPerf.String() != "greedy-perf" || EnergyAware.String() != "energy-aware" ||
+		RoundRobin.String() != "round-robin" {
+		t.Fatal("policy strings wrong")
+	}
+}

@@ -1,0 +1,241 @@
+// Package security reproduces the paper's hardware-security directions
+// (§2.4): dynamic information-flow tracking (IFT) as a "root of trust"
+// service, a classic buffer-overflow control-hijack attack built on the isa
+// VM, its detection by tag propagation, and the runtime/energy overhead of
+// tracking — plus a secret-dependent timing-channel model and its
+// constant-time mitigation.
+package security
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// BufBase is the start of the fixed-size input buffer in victim memory.
+const BufBase = 0
+
+// OverflowScenario bundles a victim program and the attacker's payload.
+type OverflowScenario struct {
+	// Prog is the victim program.
+	Prog []isa.Instr
+	// BufLen is the buffer capacity in words.
+	BufLen int
+	// FnPtrAddr is the function-pointer slot adjacent to the buffer.
+	FnPtrAddr int
+	// GadgetPC is the PC of the "leak the secret" gadget an attacker
+	// wants to reach.
+	GadgetPC int
+	// HandlerPC is the legitimate indirect-jump target.
+	HandlerPC int
+	// SecretAddr is the memory word holding the secret the gadget leaks.
+	SecretAddr int
+}
+
+// BuildOverflowVictim constructs a victim that reads a word count from
+// untrusted port 0, copies that many words into a bufLen-word buffer
+// (no bounds check — the bug), then calls through a function pointer
+// stored right after the buffer. Port 1 is the public output channel.
+//
+// Program layout:
+//
+//	0:  in   r1, port0        ; n = untrusted length
+//	1:  li   r2, BufBase      ; dst
+//	2:  li   r3, 0            ; i
+//	3:  li   r4, 1
+//	4:  beq  r3, r1, 9        ; while i != n
+//	5:  in   r5, port0        ;   v = next word
+//	6:  st   [r2+0], r5       ;   buf[i] = v   (no bounds check!)
+//	7:  add  r2, r2, r4
+//	8:  add  r3, r3, r4 ; jmp 4
+//	9:  (jmp 4 lives at 9)    ; loop back
+//	10: ld   r6, [r0+FnPtrAddr]; fp = *fnptr
+//	11: jr   r6               ; call fp  <- hijack point
+//	12: HANDLER: li r7, 1; out r7, port1; halt
+//	15: GADGET: ld r8, [r0+secretAddr]; out r8, port1; halt
+func BuildOverflowVictim(bufLen int) OverflowScenario {
+	fnPtr := BufBase + bufLen
+	secretAddr := fnPtr + 1
+	prog := []isa.Instr{
+		/* 0 */ {Op: isa.In, Rd: 1, Imm: 0},
+		/* 1 */ {Op: isa.Li, Rd: 2, Imm: int64(BufBase)},
+		/* 2 */ {Op: isa.Li, Rd: 3, Imm: 0},
+		/* 3 */ {Op: isa.Li, Rd: 4, Imm: 1},
+		/* 4 */ {Op: isa.Beq, Rs1: 3, Rs2: 1, Imm: 10},
+		/* 5 */ {Op: isa.In, Rd: 5, Imm: 0},
+		/* 6 */ {Op: isa.St, Rs1: 2, Rs2: 5, Imm: 0},
+		/* 7 */ {Op: isa.Add, Rd: 2, Rs1: 2, Rs2: 4},
+		/* 8 */ {Op: isa.Add, Rd: 3, Rs1: 3, Rs2: 4},
+		/* 9 */ {Op: isa.Jmp, Imm: 4},
+		/* 10 */ {Op: isa.Ld, Rd: 6, Rs1: 0, Imm: int64(fnPtr)},
+		/* 11 */ {Op: isa.Jr, Rs1: 6},
+		// Legitimate handler:
+		/* 12 */ {Op: isa.Li, Rd: 7, Imm: 1},
+		/* 13 */ {Op: isa.Out, Rs1: 7, Imm: 1},
+		/* 14 */ {Op: isa.Halt},
+		// Secret-leaking gadget the attacker redirects to:
+		/* 15 */ {Op: isa.Ld, Rd: 8, Rs1: 0, Imm: int64(secretAddr)},
+		/* 16 */ {Op: isa.Out, Rs1: 8, Imm: 1},
+		/* 17 */ {Op: isa.Halt},
+	}
+	return OverflowScenario{
+		Prog:       prog,
+		BufLen:     bufLen,
+		FnPtrAddr:  fnPtr,
+		GadgetPC:   15,
+		HandlerPC:  12,
+		SecretAddr: secretAddr,
+	}
+}
+
+// RunResult describes one victim execution.
+type RunResult struct {
+	// Hijacked is true when control reached the attacker's gadget and the
+	// secret appeared on the public port.
+	Hijacked bool
+	// Detected is true when IFT flagged a violation.
+	Detected bool
+	// Err is the terminal error, if any.
+	Err error
+	// Cycles is total machine cycles.
+	Cycles uint64
+	// TagOps is tag propagations performed (IFT cost driver).
+	TagOps uint64
+}
+
+// secretValue is planted in victim memory so a successful hijack is
+// observable on the public port.
+const secretValue = 0xC0FFEE
+
+// Run executes the scenario. payload is the attacker-controlled input word
+// stream (first word = count); ift enables tracking, enforce aborts on
+// violation.
+func (s OverflowScenario) Run(payload []int64, ift, enforce bool) RunResult {
+	m := isa.New(s.Prog, s.SecretAddr+8)
+	m.TrackTaint = ift
+	m.EnforcePolicy = enforce
+	m.TaintedPorts[0] = true
+	m.PublicPorts[1] = true
+	m.Inputs[0] = payload
+	m.Mem[s.SecretAddr] = secretValue
+	m.Mem[s.FnPtrAddr] = int64(s.HandlerPC)
+	err := m.Run(100000)
+	res := RunResult{
+		Err:    err,
+		Cycles: m.Cycles,
+		TagOps: m.Counts["tagop"],
+	}
+	res.Detected = len(m.Violations) > 0
+	for _, v := range m.Outputs[1] {
+		if v == secretValue {
+			res.Hijacked = true
+		}
+	}
+	return res
+}
+
+// BenignPayload returns an in-bounds input of n words.
+func (s OverflowScenario) BenignPayload(n int) []int64 {
+	if n > s.BufLen {
+		n = s.BufLen
+	}
+	p := []int64{int64(n)}
+	for i := 0; i < n; i++ {
+		p = append(p, int64(100+i))
+	}
+	return p
+}
+
+// ExploitPayload overflows the buffer by one word, overwriting the function
+// pointer with the gadget address.
+func (s OverflowScenario) ExploitPayload() []int64 {
+	n := s.BufLen + 1
+	p := []int64{int64(n)}
+	for i := 0; i < s.BufLen; i++ {
+		p = append(p, 0x41) // filler
+	}
+	p = append(p, int64(s.GadgetPC)) // lands on FnPtrAddr
+	return p
+}
+
+// IFTOverhead runs a compute-heavy benign workload with and without
+// tracking and returns the relative cost overhead, charging each tag
+// operation tagCostFrac of an instruction's cost. Hardware IFT proposals
+// put this at a few percent; a software-only shadow-memory implementation
+// is several instructions per instruction, which callers model by raising
+// tagCostFrac.
+func IFTOverhead(bufLen int, tagCostFrac float64) float64 {
+	s := BuildOverflowVictim(bufLen)
+	payload := s.BenignPayload(bufLen)
+	base := s.Run(payload, false, false)
+	ift := s.Run(payload, true, false)
+	baseCost := float64(base.Cycles)
+	iftCost := float64(ift.Cycles) + tagCostFrac*float64(ift.TagOps)
+	return iftCost/baseCost - 1
+}
+
+// TimingChannel models a secret-dependent execution-time side channel: a
+// naive comparator that early-exits on the first mismatching word leaks the
+// match length through latency. LeakedWords returns how many secret words
+// an attacker recovers with the given number of timing probes per position.
+type TimingChannel struct {
+	// Secret is the guarded value.
+	Secret []int64
+	// ConstantTime selects the mitigated comparator.
+	ConstantTime bool
+}
+
+// CompareCycles returns the cycle count of comparing guess against the
+// secret: the side channel is that (unmitigated) cost grows with the
+// matching prefix length.
+func (tc TimingChannel) CompareCycles(guess []int64) int {
+	if tc.ConstantTime {
+		return 2 * len(tc.Secret) // fixed cost regardless of data
+	}
+	cycles := 0
+	for i := range tc.Secret {
+		cycles += 2
+		if i >= len(guess) || guess[i] != tc.Secret[i] {
+			return cycles // early exit leaks position
+		}
+	}
+	return cycles + 1 // success path sets a flag: full match is visible too
+}
+
+// RecoverSecret mounts the classic prefix-extension timing attack with the
+// given alphabet, returning how many words it recovered correctly. Against
+// the constant-time comparator it recovers nothing better than chance.
+func (tc TimingChannel) RecoverSecret(alphabet []int64) int {
+	guess := make([]int64, 0, len(tc.Secret))
+	for pos := 0; pos < len(tc.Secret); pos++ {
+		bestSym := alphabet[0]
+		bestCycles := -1
+		for _, sym := range alphabet {
+			trial := append(append([]int64{}, guess...), sym)
+			c := tc.CompareCycles(trial)
+			if c > bestCycles {
+				bestCycles, bestSym = c, sym
+			}
+		}
+		guess = append(guess, bestSym)
+	}
+	correct := 0
+	for i := range guess {
+		if guess[i] == tc.Secret[i] {
+			correct++
+		} else {
+			break // prefix attack stops being meaningful after a miss
+		}
+	}
+	return correct
+}
+
+// ChannelCapacityBits returns the information (bits) a single timing
+// observation reveals in the unmitigated comparator: log2 of the number of
+// distinguishable latencies.
+func (tc TimingChannel) ChannelCapacityBits() float64 {
+	if tc.ConstantTime {
+		return 0
+	}
+	return math.Log2(float64(len(tc.Secret) + 1))
+}

@@ -1,0 +1,127 @@
+package security
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBenignRunWorks(t *testing.T) {
+	s := BuildOverflowVictim(8)
+	res := s.Run(s.BenignPayload(8), false, false)
+	if res.Err != nil {
+		t.Fatalf("benign run failed: %v", res.Err)
+	}
+	if res.Hijacked {
+		t.Fatal("benign input must not hijack")
+	}
+	if res.Detected {
+		t.Fatal("nothing to detect without IFT")
+	}
+}
+
+func TestBenignRunCleanUnderIFT(t *testing.T) {
+	s := BuildOverflowVictim(8)
+	res := s.Run(s.BenignPayload(8), true, true)
+	if res.Err != nil {
+		t.Fatalf("benign run under enforcement failed: %v", res.Err)
+	}
+	if res.Detected {
+		t.Fatal("false positive on benign input")
+	}
+}
+
+func TestExploitHijacksWithoutIFT(t *testing.T) {
+	s := BuildOverflowVictim(8)
+	res := s.Run(s.ExploitPayload(), false, false)
+	if !res.Hijacked {
+		t.Fatal("exploit should leak the secret without IFT")
+	}
+}
+
+func TestExploitDetectedWithIFT(t *testing.T) {
+	s := BuildOverflowVictim(8)
+	res := s.Run(s.ExploitPayload(), true, false)
+	if !res.Detected {
+		t.Fatal("IFT should flag the tainted jump")
+	}
+}
+
+func TestExploitBlockedWithEnforcement(t *testing.T) {
+	s := BuildOverflowVictim(8)
+	res := s.Run(s.ExploitPayload(), true, true)
+	if res.Hijacked {
+		t.Fatal("enforcement should stop the hijack")
+	}
+	if !res.Detected {
+		t.Fatal("violation should be recorded")
+	}
+	if res.Err == nil {
+		t.Fatal("enforcement should abort with a violation error")
+	}
+}
+
+// Property: exploits are detected for any buffer length; benign inputs are
+// never flagged.
+func TestQuickOverflowDetection(t *testing.T) {
+	f := func(lenRaw uint8) bool {
+		bufLen := int(lenRaw)%16 + 2
+		s := BuildOverflowVictim(bufLen)
+		if s.Run(s.ExploitPayload(), true, true).Hijacked {
+			return false
+		}
+		benign := s.Run(s.BenignPayload(bufLen), true, true)
+		return !benign.Detected && benign.Err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIFTOverheadModest(t *testing.T) {
+	// Hardware-assisted tags (5% per tag op) should cost well under 50%.
+	hw := IFTOverhead(32, 0.05)
+	if hw <= 0 || hw > 0.5 {
+		t.Fatalf("hardware IFT overhead = %v, want (0, 0.5]", hw)
+	}
+	// Software shadow memory (300% per tag op) should cost much more.
+	sw := IFTOverhead(32, 3.0)
+	if sw < 2*hw {
+		t.Fatalf("software IFT (%v) should dwarf hardware (%v)", sw, hw)
+	}
+}
+
+func TestTimingAttackRecoversSecret(t *testing.T) {
+	secret := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	alphabet := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	tc := TimingChannel{Secret: secret}
+	if got := tc.RecoverSecret(alphabet); got != len(secret) {
+		t.Fatalf("timing attack recovered %d/%d words", got, len(secret))
+	}
+}
+
+func TestConstantTimeDefeatsAttack(t *testing.T) {
+	secret := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	alphabet := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	tc := TimingChannel{Secret: secret, ConstantTime: true}
+	if got := tc.RecoverSecret(alphabet); got > 1 {
+		t.Fatalf("constant-time comparator leaked %d words", got)
+	}
+	if tc.ChannelCapacityBits() != 0 {
+		t.Fatal("constant-time capacity should be 0")
+	}
+	leaky := TimingChannel{Secret: secret}
+	if leaky.ChannelCapacityBits() <= 0 {
+		t.Fatal("leaky comparator capacity should be positive")
+	}
+}
+
+func TestCompareCyclesShapes(t *testing.T) {
+	tc := TimingChannel{Secret: []int64{1, 2, 3}}
+	if tc.CompareCycles([]int64{9}) >= tc.CompareCycles([]int64{1, 9}) {
+		t.Fatal("longer matching prefix should take longer")
+	}
+	ct := TimingChannel{Secret: []int64{1, 2, 3}, ConstantTime: true}
+	if ct.CompareCycles([]int64{9}) != ct.CompareCycles([]int64{1, 2, 3}) {
+		t.Fatal("constant-time cost must not vary")
+	}
+}

@@ -1,0 +1,334 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a one-dimensional probability distribution that can be sampled
+// and, where tractable, queried for moments and quantiles.
+type Dist interface {
+	// Sample draws one variate using r.
+	Sample(r *RNG) float64
+	// Mean returns the distribution mean (NaN if undefined).
+	Mean() float64
+	// Quantile returns the value at cumulative probability p in (0,1).
+	Quantile(p float64) float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// Constant is a degenerate distribution that always yields V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+// Quantile implements Dist.
+func (c Constant) Quantile(float64) float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("Constant(%g)", c.V) }
+
+// Uniform is the uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Quantile implements Dist.
+func (u Uniform) Quantile(p float64) float64 { return u.Lo + (u.Hi-u.Lo)*p }
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Exponential is the exponential distribution with the given Rate (λ).
+type Exponential struct{ Rate float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) float64 { return r.ExpFloat64() / e.Rate }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Quantile implements Dist.
+func (e Exponential) Quantile(p float64) float64 { return -math.Log(1-p) / e.Rate }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", e.Rate) }
+
+// Normal is the normal distribution N(Mu, Sigma²).
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (n Normal) Sample(r *RNG) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Quantile implements Dist. It uses the Acklam rational approximation of
+// the inverse normal CDF (max abs error ~1.15e-9).
+func (n Normal) Quantile(p float64) float64 { return n.Mu + n.Sigma*normQuantile(p) }
+
+func (n Normal) String() string { return fmt.Sprintf("Normal(mu=%g,sigma=%g)", n.Mu, n.Sigma) }
+
+// LogNormal is the log-normal distribution: exp(Normal(Mu, Sigma²)).
+// Service-time tails in warehouse systems are commonly log-normal-ish,
+// which is why E3 (tail at scale) uses it as its default leaf distribution.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *RNG) float64 { return math.Exp(l.Mu + l.Sigma*r.NormFloat64()) }
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Quantile implements Dist.
+func (l LogNormal) Quantile(p float64) float64 { return math.Exp(l.Mu + l.Sigma*normQuantile(p)) }
+
+func (l LogNormal) String() string { return fmt.Sprintf("LogNormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
+
+// Pareto is the Pareto (power-law) distribution with scale Xm and shape
+// Alpha. Heavy tails (Alpha near 1-2) model straggler-prone services.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(r *RNG) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return p.Xm / math.Pow(u, 1/p.Alpha)
+		}
+	}
+}
+
+// Mean implements Dist. Undefined (returns +Inf) for Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Quantile implements Dist.
+func (p Pareto) Quantile(q float64) float64 { return p.Xm / math.Pow(1-q, 1/p.Alpha) }
+
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha) }
+
+// Weibull is the Weibull distribution with scale Lambda and shape K.
+// K < 1 gives heavy tails; K = 1 reduces to Exponential(1/Lambda).
+type Weibull struct {
+	Lambda float64
+	K      float64
+}
+
+// Sample implements Dist.
+func (w Weibull) Sample(r *RNG) float64 {
+	return w.Lambda * math.Pow(r.ExpFloat64(), 1/w.K)
+}
+
+// Mean implements Dist.
+func (w Weibull) Mean() float64 { return w.Lambda * gamma(1+1/w.K) }
+
+// Quantile implements Dist.
+func (w Weibull) Quantile(p float64) float64 {
+	return w.Lambda * math.Pow(-math.Log(1-p), 1/w.K)
+}
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(lambda=%g,k=%g)", w.Lambda, w.K) }
+
+// Shifted wraps a distribution and adds a constant offset, modelling a
+// deterministic minimum (e.g. network RTT floor under a stochastic service
+// time).
+type Shifted struct {
+	D      Dist
+	Offset float64
+}
+
+// Sample implements Dist.
+func (s Shifted) Sample(r *RNG) float64 { return s.Offset + s.D.Sample(r) }
+
+// Mean implements Dist.
+func (s Shifted) Mean() float64 { return s.Offset + s.D.Mean() }
+
+// Quantile implements Dist.
+func (s Shifted) Quantile(p float64) float64 { return s.Offset + s.D.Quantile(p) }
+
+func (s Shifted) String() string { return fmt.Sprintf("%v+%g", s.D, s.Offset) }
+
+// Bimodal mixes two distributions: with probability PHeavy the sample comes
+// from Heavy, otherwise from Base. This is the classic "mostly fast, rarely
+// slow" straggler model for request latencies.
+type Bimodal struct {
+	Base   Dist
+	Heavy  Dist
+	PHeavy float64
+}
+
+// Sample implements Dist.
+func (b Bimodal) Sample(r *RNG) float64 {
+	if r.Bool(b.PHeavy) {
+		return b.Heavy.Sample(r)
+	}
+	return b.Base.Sample(r)
+}
+
+// Mean implements Dist.
+func (b Bimodal) Mean() float64 {
+	return (1-b.PHeavy)*b.Base.Mean() + b.PHeavy*b.Heavy.Mean()
+}
+
+// Quantile implements Dist. Computed numerically by bisection on the mixture
+// CDF approximated via component quantile inversion; adequate for reporting.
+func (b Bimodal) Quantile(p float64) float64 {
+	// Bisect on x where (1-ph)*F_base(x) + ph*F_heavy(x) = p.
+	// Component CDFs are themselves inverted numerically from quantiles.
+	lo, hi := 0.0, math.Max(b.Base.Quantile(0.999999), b.Heavy.Quantile(0.999999))
+	cdf := func(x float64) float64 {
+		return (1-b.PHeavy)*numCDF(b.Base, x) + b.PHeavy*numCDF(b.Heavy, x)
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func (b Bimodal) String() string {
+	return fmt.Sprintf("Bimodal(%v | %v @%g)", b.Base, b.Heavy, b.PHeavy)
+}
+
+// numCDF numerically inverts d.Quantile by bisection to evaluate the CDF at
+// x. Assumes Quantile is monotone in p. Evaluation points are clamped away
+// from {0, 1}, where many quantile functions are undefined.
+func numCDF(d Dist, x float64) float64 {
+	const eps = 1e-12
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		p := mid
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		if d.Quantile(p) < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Zipf samples ranks in [1, N] with probability proportional to 1/rank^S.
+// It precomputes the CDF for exact inverse-transform sampling, making draws
+// O(log N).
+type Zipf struct {
+	cdf []float64
+	n   int
+	s   float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, n: n, s: s}
+}
+
+// Rank draws a rank in [1, N].
+func (z *Zipf) Rank(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the skew exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Prob returns the probability mass of the given rank in [1, N].
+func (z *Zipf) Prob(rank int) float64 {
+	if rank < 1 || rank > z.n {
+		return 0
+	}
+	if rank == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank-1] - z.cdf[rank-2]
+}
+
+// gamma is the Gamma function via the Lanczos approximation, sufficient for
+// Weibull moments.
+func gamma(x float64) float64 {
+	g, _ := math.Lgamma(x)
+	return math.Exp(g)
+}
+
+// normQuantile is the Acklam approximation to the standard normal inverse
+// CDF. Panics outside (0,1).
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: normQuantile p=%g out of (0,1)", p))
+	}
+	// Coefficients for the rational approximations.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

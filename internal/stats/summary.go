@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming first/second moments and extrema using
+// Welford's numerically stable online algorithm. The zero value is ready to
+// use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean (0 for empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns n*mean, the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval of the mean.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds other into s as if all of other's observations had been Added.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	tot := n1 + n2
+	s.m2 += other.m2 + delta*delta*n1*n2/tot
+	s.mean += delta * n2 / tot
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// Sample collects observations for exact percentile queries. It trades
+// memory for exactness; simulators in this toolkit deal in at most a few
+// million observations, where exact sorting is cheap and removes estimator
+// error from experiment outputs.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample with capacity hint n.
+func NewSample(n int) *Sample {
+	return &Sample{xs: make([]float64, 0, n)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 for empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Max returns the largest observation (0 for empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Min returns the smallest observation (0 for empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// FracAbove returns the fraction of observations strictly greater than x.
+func (s *Sample) FracAbove(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	// First index with value > x.
+	i := sort.Search(len(s.xs), func(i int) bool { return s.xs[i] > x })
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}
+
+// Values returns a copy of the observations in insertion-then-sorted order
+// (sorted if any percentile query has run).
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Histogram counts observations into equal-width or log-spaced buckets.
+type Histogram struct {
+	lo, hi  float64
+	log     bool
+	counts  []int
+	under   int
+	over    int
+	samples int
+}
+
+// NewHistogram builds a linear histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, n)}
+}
+
+// NewLogHistogram builds a log-spaced histogram with n buckets spanning
+// [lo, hi), lo > 0.
+func NewLogHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo || lo <= 0 {
+		panic("stats: invalid log histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, log: true, counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.samples++
+	var idx int
+	if h.log {
+		if x < h.lo {
+			h.under++
+			return
+		}
+		idx = int(math.Log(x/h.lo) / math.Log(h.hi/h.lo) * float64(len(h.counts)))
+	} else {
+		if x < h.lo {
+			h.under++
+			return
+		}
+		idx = int((x - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+	}
+	if idx >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[idx]++
+}
+
+// Buckets returns per-bucket (lowEdge, count) pairs.
+func (h *Histogram) Buckets() ([]float64, []int) {
+	edges := make([]float64, len(h.counts))
+	for i := range edges {
+		if h.log {
+			edges[i] = h.lo * math.Pow(h.hi/h.lo, float64(i)/float64(len(h.counts)))
+		} else {
+			edges[i] = h.lo + (h.hi-h.lo)*float64(i)/float64(len(h.counts))
+		}
+	}
+	counts := make([]int, len(h.counts))
+	copy(counts, h.counts)
+	return edges, counts
+}
+
+// N returns total observations including under/overflow.
+func (h *Histogram) N() int { return h.samples }
+
+// Overflow returns the count of observations >= hi.
+func (h *Histogram) Overflow() int { return h.over }
+
+// Underflow returns the count of observations < lo.
+func (h *Histogram) Underflow() int { return h.under }

@@ -1,0 +1,106 @@
+package tech
+
+import "math"
+
+// DVFS models dynamic voltage/frequency scaling for a task with a
+// deadline — the paper's "Better Interfaces for High-Level Information"
+// example (§2.4): current ISAs give hardware no way to know a program
+// would rather be energy-efficient than fast, so it cannot choose between
+// racing to idle and pacing. Given the intent (the deadline), the governor
+// can.
+type DVFS struct {
+	// Node is the process generation.
+	Node Node
+	// FNominal is the nominal frequency (Hz) at the node's nominal Vdd.
+	FNominal float64
+	// EdynNominal is dynamic energy per op at nominal V/f (joules).
+	EdynNominal float64
+	// ActiveLeakPower is leakage power while powered (watts).
+	ActiveLeakPower float64
+	// IdlePower is power in the idle (clock-gated) state (watts).
+	IdlePower float64
+}
+
+// freqAt returns the achievable frequency at voltage v (alpha-power law),
+// relative to FNominal.
+func (d DVFS) freqAt(v float64) float64 {
+	return d.FNominal / d.Node.GateDelay(v) * d.Node.GateDelay(d.Node.Vdd)
+}
+
+// voltageFor inverts freqAt by bisection: the minimum voltage sustaining
+// frequency f. Returns nominal Vdd when f is at/above nominal.
+func (d DVFS) voltageFor(f float64) float64 {
+	if f >= d.FNominal {
+		return d.Node.Vdd
+	}
+	lo, hi := d.Node.Vth+1e-4, d.Node.Vdd
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if d.freqAt(mid) < f {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// RaceToIdle returns the energy of running ops operations at nominal V/f
+// and idling for the rest of the deadline (seconds).
+func (d DVFS) RaceToIdle(ops float64, deadline float64) float64 {
+	runTime := ops / d.FNominal
+	if runTime > deadline {
+		runTime = deadline // deadline miss; charge the full active window
+	}
+	active := ops*d.EdynNominal + runTime*d.ActiveLeakPower
+	idle := (deadline - runTime) * d.IdlePower
+	return active + idle
+}
+
+// Pace returns the energy of stretching ops operations across the whole
+// deadline at the minimum sufficient voltage/frequency.
+func (d DVFS) Pace(ops float64, deadline float64) float64 {
+	fNeeded := ops / deadline
+	if fNeeded >= d.FNominal {
+		return d.RaceToIdle(ops, deadline)
+	}
+	v := d.voltageFor(fNeeded)
+	vn := d.Node.Vdd
+	edyn := d.EdynNominal * (v * v) / (vn * vn)
+	// Leakage scales ~linearly with V and runs for the full deadline.
+	leak := d.ActiveLeakPower * (v / vn) * deadline
+	return ops*edyn + leak
+}
+
+// BestPolicy returns "pace" or "race" and the winning energy for the task.
+func (d DVFS) BestPolicy(ops float64, deadline float64) (string, float64) {
+	race := d.RaceToIdle(ops, deadline)
+	pace := d.Pace(ops, deadline)
+	if pace < race {
+		return "pace", pace
+	}
+	return "race", race
+}
+
+// IntentGain returns how much energy knowing the deadline saves versus the
+// intent-blind default (always race to idle): raceEnergy / bestEnergy.
+func (d DVFS) IntentGain(ops float64, deadline float64) float64 {
+	race := d.RaceToIdle(ops, deadline)
+	_, best := d.BestPolicy(ops, deadline)
+	if best <= 0 {
+		return math.Inf(1)
+	}
+	return race / best
+}
+
+// StandardDVFS returns a 45nm mobile-core configuration: 2 GHz nominal,
+// 100 pJ/op dynamic, 300 mW active leakage, 30 mW idle floor.
+func StandardDVFS() DVFS {
+	return DVFS{
+		Node:            Node45(),
+		FNominal:        2e9,
+		EdynNominal:     100e-12,
+		ActiveLeakPower: 0.3,
+		IdlePower:       0.03,
+	}
+}

@@ -1,0 +1,96 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVoltageForInvertsFreq(t *testing.T) {
+	d := StandardDVFS()
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		f := d.FNominal * frac
+		v := d.voltageFor(f)
+		if v > d.Node.Vdd+1e-9 || v <= d.Node.Vth {
+			t.Fatalf("voltage %v out of range for f=%v", v, f)
+		}
+		got := d.freqAt(v)
+		if got < f*0.999 {
+			t.Fatalf("freqAt(voltageFor(%v)) = %v, too slow", f, got)
+		}
+	}
+}
+
+func TestPaceWinsWithSlack(t *testing.T) {
+	d := StandardDVFS()
+	ops := 1e9 // 0.5s at nominal
+	// Generous deadline: pacing at low voltage must win.
+	pol, e := d.BestPolicy(ops, 2.0)
+	if pol != "pace" {
+		t.Fatalf("policy with 4x slack = %s, want pace", pol)
+	}
+	if e >= d.RaceToIdle(ops, 2.0) {
+		t.Fatal("pace should beat race with slack")
+	}
+}
+
+func TestRaceWinsWithHighIdleEfficiency(t *testing.T) {
+	d := StandardDVFS()
+	d.IdlePower = 0.0001 // near-perfect sleep
+	d.ActiveLeakPower = 1.5
+	ops := 1e9
+	pol, _ := d.BestPolicy(ops, 2.0)
+	if pol != "race" {
+		t.Fatalf("policy with cheap sleep + leaky active = %s, want race", pol)
+	}
+}
+
+func TestTightDeadlineEqualizes(t *testing.T) {
+	d := StandardDVFS()
+	ops := 1e9
+	deadline := ops / d.FNominal // zero slack
+	race := d.RaceToIdle(ops, deadline)
+	pace := d.Pace(ops, deadline)
+	if math.Abs(race-pace) > 1e-12*math.Max(race, pace) {
+		t.Fatalf("zero slack should equalize: race %v pace %v", race, pace)
+	}
+}
+
+func TestIntentGainShape(t *testing.T) {
+	// The gain is non-monotone in slack: zero at no slack (nothing to
+	// exploit), positive at moderate slack (pacing wins), and back to ~1 at
+	// huge slack (pacing's stretched leakage loses to racing to idle).
+	d := StandardDVFS()
+	ops := 1e9
+	nominal := ops / d.FNominal
+	g1 := d.IntentGain(ops, nominal)
+	g2 := d.IntentGain(ops, nominal*2)
+	g8 := d.IntentGain(ops, nominal*8)
+	if g1 < 1 || g2 < 1 || g8 < 1 {
+		t.Fatal("intent gain below 1")
+	}
+	if math.Abs(g1-1) > 1e-9 {
+		t.Fatalf("zero-slack gain = %v, want 1", g1)
+	}
+	if g2 < 1.1 {
+		t.Fatalf("2x-slack gain = %v, want > 1.1", g2)
+	}
+	if g8 > g2 {
+		t.Fatalf("huge slack should not beat moderate slack: %v vs %v", g8, g2)
+	}
+}
+
+// Property: both policies yield positive energy; best <= race always.
+func TestQuickDVFSSane(t *testing.T) {
+	d := StandardDVFS()
+	f := func(opsRaw, dlRaw uint16) bool {
+		ops := float64(opsRaw)*1e6 + 1e6
+		deadline := (float64(dlRaw) + 1) / 1000 // 1ms .. 65s
+		race := d.RaceToIdle(ops, deadline)
+		_, best := d.BestPolicy(ops, deadline)
+		return race > 0 && best > 0 && best <= race+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

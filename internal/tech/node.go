@@ -1,0 +1,101 @@
+// Package tech models semiconductor technology scaling: process nodes,
+// Moore's-law transistor budgets, Dennard (and post-Dennard) power scaling,
+// near-threshold-voltage operation, process variation, and a synthetic CPU
+// database reproducing the Danowitz et al. architecture/technology
+// performance decomposition cited by the paper.
+//
+// All models are first-order analytic, calibrated to public constants: a 2×
+// transistor doubling every 18–24 months, the classic Dennard factors
+// (dimensions, voltage, capacitance ×0.7 per generation), and the observed
+// post-2005 flattening of supply voltage. The point is to reproduce the
+// *trend arithmetic* behind the paper's Table 1, not any foundry's exact
+// numbers.
+package tech
+
+import "fmt"
+
+// Node describes one process generation.
+type Node struct {
+	// Name is the conventional node label, e.g. "45nm".
+	Name string
+	// FeatureNm is the nominal feature size in nanometres.
+	FeatureNm float64
+	// Year is the approximate year of volume production.
+	Year int
+	// Vdd is the nominal supply voltage in volts.
+	Vdd float64
+	// Vth is the threshold voltage in volts.
+	Vth float64
+	// DensityMTrPerMM2 is logic density in millions of transistors per mm².
+	DensityMTrPerMM2 float64
+	// LeakageFrac is the fraction of chip power lost to leakage at nominal
+	// voltage and temperature.
+	LeakageFrac float64
+	// SoftErrorFITPerMb is the soft-error rate per megabit of SRAM in FIT
+	// (failures per 1e9 device-hours).
+	SoftErrorFITPerMb float64
+}
+
+func (n Node) String() string { return fmt.Sprintf("node(%s, %d)", n.Name, n.Year) }
+
+// Nodes lists the modelled process generations, 180 nm (1999) through 7 nm
+// (2019). Voltages follow the historical record: Dennard-style V scaling
+// through ~90 nm, then flattening near 1 V — the end of Dennard scaling that
+// Table 1 of the paper calls out. Soft-error FIT/Mb rises as charge per node
+// shrinks, backing Table 1's reliability row.
+func Nodes() []Node {
+	return []Node{
+		{"180nm", 180, 1999, 1.80, 0.45, 0.4, 0.01, 50},
+		{"130nm", 130, 2001, 1.50, 0.40, 0.8, 0.02, 80},
+		{"90nm", 90, 2004, 1.20, 0.35, 1.6, 0.05, 120},
+		{"65nm", 65, 2006, 1.10, 0.33, 3.1, 0.10, 180},
+		{"45nm", 45, 2008, 1.00, 0.32, 6.1, 0.16, 280},
+		{"32nm", 32, 2010, 0.95, 0.31, 12, 0.22, 400},
+		{"22nm", 22, 2012, 0.90, 0.30, 23, 0.28, 550},
+		{"14nm", 14, 2014, 0.85, 0.30, 44, 0.32, 700},
+		{"10nm", 10, 2017, 0.80, 0.29, 85, 0.36, 850},
+		{"7nm", 7, 2019, 0.75, 0.29, 160, 0.40, 1000},
+	}
+}
+
+// NodeByName returns the named node from the library.
+func NodeByName(name string) (Node, bool) {
+	for _, n := range Nodes() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Node45 returns the 45 nm node used as the energy-table reference point
+// (the node of Keckler's Micro 2011 keynote figures the paper cites).
+func Node45() Node {
+	n, _ := NodeByName("45nm")
+	return n
+}
+
+// GateDelay returns a relative gate delay for the node: the alpha-power
+// delay model t ∝ L · V / (V − Vth)^alpha with alpha = 1.3, normalized so
+// the 45 nm node at nominal voltage is 1.0.
+func (n Node) GateDelay(vdd float64) float64 {
+	ref := Node45()
+	return gateDelayRaw(n.FeatureNm, vdd, n.Vth) /
+		gateDelayRaw(ref.FeatureNm, ref.Vdd, ref.Vth)
+}
+
+const alphaPower = 1.3
+
+func gateDelayRaw(featureNm, vdd, vth float64) float64 {
+	if vdd <= vth {
+		return inf
+	}
+	return featureNm * vdd / pow(vdd-vth, alphaPower)
+}
+
+// DynamicEnergyRel returns relative switching energy per transition
+// (∝ C·V²; C ∝ feature size), normalized to the 45 nm node at nominal Vdd.
+func (n Node) DynamicEnergyRel(vdd float64) float64 {
+	ref := Node45()
+	return (n.FeatureNm * vdd * vdd) / (ref.FeatureNm * ref.Vdd * ref.Vdd)
+}

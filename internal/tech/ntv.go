@@ -1,0 +1,122 @@
+package tech
+
+import "math"
+
+// NTVModel captures energy and reliability of a logic block as its supply
+// voltage scales from nominal down to near-threshold, the operating point
+// the paper names a key "new technology" opportunity (§1.2, §2.3).
+//
+// Energy per operation has two parts:
+//
+//	E(V) = Edyn·(V/Vnom)²  +  Pleak(V)·t(V)
+//
+// Dynamic energy falls quadratically with V, but delay t(V) grows sharply
+// near threshold (alpha-power law), so the leakage energy integrated over
+// the longer cycle grows — producing the classic U-shaped energy curve with
+// a minimum somewhat above Vth. Reliability degrades as V approaches Vth
+// because threshold variation makes slow paths miss timing.
+type NTVModel struct {
+	// Node is the process generation being scaled.
+	Node Node
+	// EdynNominal is the dynamic energy per op at nominal Vdd in joules.
+	EdynNominal float64
+	// LeakRatioNominal is leakage power as a fraction of total power at
+	// nominal voltage (typically the node's LeakageFrac).
+	LeakRatioNominal float64
+	// VthSigma is the std-dev of threshold-voltage variation in volts,
+	// driving the error model.
+	VthSigma float64
+	// PathsPerOp is the number of independent critical paths that must all
+	// meet timing for an operation to be correct.
+	PathsPerOp float64
+}
+
+// NewNTVModel builds a model for the node with a given nominal dynamic
+// energy per operation (joules).
+func NewNTVModel(node Node, edynNominal float64) NTVModel {
+	return NTVModel{
+		Node:             node,
+		EdynNominal:      edynNominal,
+		LeakRatioNominal: node.LeakageFrac,
+		VthSigma:         0.03,
+		PathsPerOp:       64,
+	}
+}
+
+// Delay returns relative operation latency at voltage v (1.0 at nominal).
+func (m NTVModel) Delay(v float64) float64 {
+	return m.Node.GateDelay(v) / m.Node.GateDelay(m.Node.Vdd)
+}
+
+// EnergyPerOp returns the energy per operation at voltage v in joules.
+func (m NTVModel) EnergyPerOp(v float64) float64 {
+	if v <= m.Node.Vth {
+		return math.Inf(1)
+	}
+	vn := m.Node.Vdd
+	edyn := m.EdynNominal * (v * v) / (vn * vn)
+	// Leakage power ∝ V (to first order, ignoring DIBL); leakage energy is
+	// leakage power × op delay. At nominal: Eleak = ratio/(1-ratio) · Edyn.
+	eleakNom := m.EdynNominal * m.LeakRatioNominal / (1 - m.LeakRatioNominal)
+	eleak := eleakNom * (v / vn) * m.Delay(v)
+	return edyn + eleak
+}
+
+// ErrorRate returns the probability that an operation at voltage v suffers
+// a timing error, from Gaussian threshold variation: a path fails when its
+// local Vth exceeds the margin the supply provides. The guardband term
+// (0.5·sigma·ln factor) keeps nominal operation effectively error-free.
+func (m NTVModel) ErrorRate(v float64) float64 {
+	// Margin in sigmas between supply-derived switching margin and mean Vth.
+	margin := (v - m.Node.Vth) / m.VthSigma
+	// A path fails if its Vth deviation exceeds ~margin/2 (alpha-power
+	// delay roughly doubles by then). Per-path failure prob:
+	pPath := gaussTail(margin / 2)
+	// Independent paths: P(op error) = 1-(1-p)^paths.
+	return 1 - math.Pow(1-pPath, m.PathsPerOp)
+}
+
+// gaussTail is the standard normal upper tail Q(x).
+func gaussTail(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// MinEnergyPoint returns the voltage in (Vth, Vdd] minimizing energy per
+// op, found by golden-section search, together with the energy there.
+func (m NTVModel) MinEnergyPoint() (v float64, energy float64) {
+	lo := m.Node.Vth + 0.01
+	hi := m.Node.Vdd
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	for i := 0; i < 200; i++ {
+		if m.EnergyPerOp(c) < m.EnergyPerOp(d) {
+			b = d
+		} else {
+			a = c
+		}
+		c = b - phi*(b-a)
+		d = a + phi*(b-a)
+	}
+	v = (a + b) / 2
+	return v, m.EnergyPerOp(v)
+}
+
+// EffectiveEnergyPerOp returns energy per *correct* operation at voltage v
+// assuming failed operations are detected and retried: E/(1-errRate). This
+// is the resiliency-cost view of near-threshold operation: below the
+// minimum-energy point, retry overhead erases the dynamic-energy win.
+func (m NTVModel) EffectiveEnergyPerOp(v float64) float64 {
+	p := m.ErrorRate(v)
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return m.EnergyPerOp(v) / (1 - p)
+}
+
+// ThroughputRel returns relative throughput at voltage v for a fixed-width
+// block (1.0 at nominal): inverse of delay.
+func (m NTVModel) ThroughputRel(v float64) float64 {
+	return 1 / m.Delay(v)
+}

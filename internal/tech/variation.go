@@ -1,0 +1,72 @@
+package tech
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// VariationModel samples per-core manufacturing variation for a node.
+// Variation grows as features shrink (fewer dopant atoms per device), which
+// is Table 1's "transistor reliability worsening" row at time zero — cores
+// on the same die no longer match.
+type VariationModel struct {
+	Node Node
+	// FreqSigma is the relative std-dev of core maximum frequency.
+	FreqSigma float64
+	// LeakSigma is the log-scale std-dev of core leakage power.
+	LeakSigma float64
+}
+
+// NewVariationModel derives variation magnitudes from the node's feature
+// size: sigma grows like sqrt(45 nm / L), normalized to 5% frequency and
+// 20% leakage sigma at 45 nm.
+func NewVariationModel(node Node) VariationModel {
+	scale := math.Sqrt(45 / node.FeatureNm)
+	return VariationModel{
+		Node:      node,
+		FreqSigma: 0.05 * scale,
+		LeakSigma: 0.20 * scale,
+	}
+}
+
+// CoreSample is one core's manufacturing outcome.
+type CoreSample struct {
+	// FreqRel is the core's max frequency relative to nominal.
+	FreqRel float64
+	// LeakRel is the core's leakage power relative to nominal.
+	LeakRel float64
+}
+
+// Sample draws one core.
+func (m VariationModel) Sample(r *stats.RNG) CoreSample {
+	f := 1 + m.FreqSigma*r.NormFloat64()
+	if f < 0.1 {
+		f = 0.1
+	}
+	return CoreSample{
+		FreqRel: f,
+		LeakRel: math.Exp(m.LeakSigma * r.NormFloat64()),
+	}
+}
+
+// ChipYield returns the fraction of n-core chips in which every core meets
+// the given minimum relative frequency, estimated over trials Monte-Carlo
+// draws. This captures why large dies bin or disable cores as variation
+// grows.
+func (m VariationModel) ChipYield(nCores int, minFreqRel float64, trials int, r *stats.RNG) float64 {
+	good := 0
+	for t := 0; t < trials; t++ {
+		ok := true
+		for c := 0; c < nCores; c++ {
+			if m.Sample(r).FreqRel < minFreqRel {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			good++
+		}
+	}
+	return float64(good) / float64(trials)
+}

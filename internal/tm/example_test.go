@@ -1,0 +1,29 @@
+package tm_test
+
+import (
+	"fmt"
+
+	"repro/internal/tm"
+)
+
+// A multi-variable update with no locks in sight — the programmability
+// pitch of the paper's §2.4.
+func ExampleAtomic() {
+	checking := tm.NewVar(100)
+	savings := tm.NewVar(0)
+	err := tm.Atomic(func(tx *tm.Txn) error {
+		c, err := tx.Read(checking)
+		if err != nil {
+			return err
+		}
+		s, err := tx.Read(savings)
+		if err != nil {
+			return err
+		}
+		tx.Write(checking, c-40)
+		tx.Write(savings, s+40)
+		return nil
+	}, nil, 0)
+	fmt.Println(err, checking.Load(), savings.Load())
+	// Output: <nil> 60 40
+}
