@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-serve clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+bench-serve:
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/qos"
 	"repro/internal/reliability"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/tm"
 	"repro/internal/workload"
@@ -199,6 +201,90 @@ func BenchmarkAblationQoSPolicies(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Serving-engine benchmarks (DESIGN.md §4) ---
+
+// serveBenchID is a representative mid-weight experiment for the serving
+// benchmarks (E11's sensor-filter simulation, ~20ms cold — heavy enough
+// that the cold/hit gap is unambiguous, light enough to iterate).
+const serveBenchID = "E11"
+
+// BenchmarkServeColdRun measures an uncached serve: full experiment
+// execution plus encode plus memoization. Contrast with
+// BenchmarkServeCacheHit — the acceptance bar is a >= 10x gap.
+func BenchmarkServeColdRun(b *testing.B) {
+	e := serve.NewEngine(serve.Config{Workers: 2})
+	defer e.Close()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		if _, err := e.Serve(serveBenchID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCacheHit measures a memoized serve: shard lookup, hit-count
+// bump, and payload decode.
+func BenchmarkServeCacheHit(b *testing.B) {
+	e := serve.NewEngine(serve.Config{Workers: 2})
+	defer e.Close()
+	if _, err := e.Serve(serveBenchID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Serve(serveBenchID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServeConcurrentSingleflight sends 16 simultaneous requests for
+// one uncached experiment per iteration and reports how many underlying
+// executions happened per iteration (singleflight should hold it at ~1).
+func BenchmarkServeConcurrentSingleflight(b *testing.B) {
+	const clients = 16
+	e := serve.NewEngine(serve.Config{Workers: 4})
+	defer e.Close()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := e.Serve(serveBenchID); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(e.Executions())/float64(b.N), "execs/op")
+}
+
+// BenchmarkServeContentionCacheHot measures hot-cache serve throughput
+// under GOMAXPROCS-parallel clients hammering one key — the shard-mutex
+// contention path.
+func BenchmarkServeContentionCacheHot(b *testing.B) {
+	e := serve.NewEngine(serve.Config{Workers: 2})
+	defer e.Close()
+	if _, err := e.Serve(serveBenchID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Serve(serveBenchID); err != nil {
+				b.Error(err)
+			}
+		}
+	})
 }
 
 // --- Substrate micro-benchmarks ---

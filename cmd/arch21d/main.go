@@ -1,0 +1,65 @@
+// Command arch21d serves the toolkit's experiments over HTTP through the
+// concurrent serving engine: sharded memoizing result cache, singleflight
+// deduplication, a bounded worker pool, and self-reported tail latency.
+//
+// Usage:
+//
+//	arch21d [-addr :8021] [-shards 16] [-ttl 0] [-workers 4]
+//
+// Endpoints:
+//
+//	GET /healthz              liveness probe
+//	GET /experiments          registered experiments with their claims
+//	GET /run/{id}             serve one experiment (add ?format=text|csv)
+//	GET /stats                request counters, cache stats, p50/p99
+//
+// Example:
+//
+//	arch21d &
+//	curl localhost:8021/run/E3
+//	curl localhost:8021/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8021", "listen address")
+	shards := flag.Int("shards", 16, "cache shard count (rounded up to a power of two)")
+	ttl := flag.Duration("ttl", 0, "cache entry TTL (0 = never expire)")
+	workers := flag.Int("workers", 4, "max concurrent cold experiment runs")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "arch21d: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	engine := serve.NewEngine(serve.Config{
+		Shards:  *shards,
+		TTL:     *ttl,
+		Workers: *workers,
+	})
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      engine.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 5 * time.Minute, // cold "run all"-class requests are slow
+	}
+	log.Printf("arch21d: serving %d experiments on %s (shards=%d ttl=%v workers=%d)",
+		len(core.Registry()), *addr, *shards, *ttl, *workers)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("arch21d: %v", err)
+	}
+}

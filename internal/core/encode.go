@@ -1,0 +1,116 @@
+package core
+
+// Result serialization. A Result encodes to a compact binary payload (via
+// the report package's varint codec) so experiment outputs can be memoized
+// byte-for-byte by the serve subsystem's cache, shipped over the wire, or
+// written to disk, and decode back to an identical Result.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Result payload layout: one flags byte (bit 0 = table present, bit 1 =
+// figure present), then the length-prefixed table payload, the
+// length-prefixed figure payload, and a count-prefixed findings list.
+const (
+	flagTable  = 0x01
+	flagFigure = 0x02
+)
+
+// Encode serializes the result to a compact binary payload.
+func (r Result) Encode() []byte {
+	var flags byte
+	var tbl, fig []byte
+	if r.Table != nil {
+		flags |= flagTable
+		tbl = r.Table.Encode()
+	}
+	if r.Figure != nil {
+		flags |= flagFigure
+		fig = r.Figure.Encode()
+	}
+	buf := make([]byte, 0, 1+len(tbl)+len(fig)+64)
+	buf = append(buf, flags)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	if r.Table != nil {
+		putUvarint(uint64(len(tbl)))
+		buf = append(buf, tbl...)
+	}
+	if r.Figure != nil {
+		putUvarint(uint64(len(fig)))
+		buf = append(buf, fig...)
+	}
+	putUvarint(uint64(len(r.Findings)))
+	for _, f := range r.Findings {
+		putUvarint(uint64(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// DecodeResult parses a payload produced by Result.Encode.
+func DecodeResult(buf []byte) (Result, error) {
+	var r Result
+	if len(buf) == 0 {
+		return r, fmt.Errorf("core: %w: empty result payload", report.ErrCorrupt)
+	}
+	flags := buf[0]
+	off := 1
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: %w: bad varint", report.ErrCorrupt)
+		}
+		off += n
+		return v, nil
+	}
+	chunk := func() ([]byte, error) {
+		n, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(buf)-off) {
+			return nil, fmt.Errorf("core: %w: truncated chunk", report.ErrCorrupt)
+		}
+		c := buf[off : off+int(n)]
+		off += int(n)
+		return c, nil
+	}
+	if flags&flagTable != 0 {
+		c, err := chunk()
+		if err != nil {
+			return r, err
+		}
+		if r.Table, err = report.DecodeTable(c); err != nil {
+			return r, err
+		}
+	}
+	if flags&flagFigure != 0 {
+		c, err := chunk()
+		if err != nil {
+			return r, err
+		}
+		if r.Figure, err = report.DecodeFigure(c); err != nil {
+			return r, err
+		}
+	}
+	nf, err := uvarint()
+	if err != nil {
+		return r, err
+	}
+	for i := uint64(0); i < nf; i++ {
+		c, err := chunk()
+		if err != nil {
+			return r, err
+		}
+		r.Findings = append(r.Findings, string(c))
+	}
+	return r, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/report"
+)
+
+func sampleResult() Result {
+	t := report.NewTable("sample", "metric", "value")
+	t.AddRow("speedup", "2.5")
+	t.Note = "a note"
+	f := report.NewFigure("fig", "x", "y")
+	s := f.AddSeries("s1")
+	s.Add(1, 2)
+	s.Add(3, 4.5)
+	return Result{
+		Table:    t,
+		Figure:   f,
+		Findings: []string{"finding one", "finding two: 63% > 50%"},
+	}
+}
+
+func TestResultEncodeDecodeRoundTrip(t *testing.T) {
+	cases := map[string]Result{
+		"table+figure+findings": sampleResult(),
+		"table-only":            {Table: report.NewTable("t", "h")},
+		"figure-only":           {Figure: report.NewFigure("f", "x", "y")},
+		"findings-only":         {Findings: []string{"just text"}},
+		"empty":                 {},
+	}
+	for name, r := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, err := DecodeResult(r.Encode())
+			if err != nil {
+				t.Fatalf("DecodeResult: %v", err)
+			}
+			if got.Render() != r.Render() {
+				t.Fatalf("render mismatch:\n--- got ---\n%s\n--- want ---\n%s",
+					got.Render(), r.Render())
+			}
+			if len(got.Findings) != len(r.Findings) {
+				t.Fatalf("findings: got %d want %d", len(got.Findings), len(r.Findings))
+			}
+		})
+	}
+}
+
+// TestEveryExperimentResultRoundTrips guards the serve-cache contract: each
+// registered experiment's output must survive Encode/Decode byte-for-byte at
+// the rendered level.
+func TestEveryExperimentResultRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run()
+			got, err := DecodeResult(res.Encode())
+			if err != nil {
+				t.Fatalf("DecodeResult(%s): %v", e.ID, err)
+			}
+			if got.Render() != res.Render() {
+				t.Fatalf("%s: render mismatch across codec round trip", e.ID)
+			}
+		})
+	}
+}
+
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	if _, err := DecodeResult(nil); err == nil {
+		t.Fatal("DecodeResult(nil) should fail")
+	}
+	enc := sampleResult().Encode()
+	for _, cut := range []int{1, 2, len(enc) / 3, len(enc) - 1} {
+		if _, err := DecodeResult(enc[:cut]); err == nil {
+			t.Fatalf("truncated payload (%d bytes) should fail", cut)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package serve is the toolkit's concurrent experiment-serving engine: a
+// sharded memoizing result cache, a singleflight layer that collapses
+// thundering herds, a bounded worker pool, and HTTP handlers — the paper's
+// warehouse-scale serving concerns (memory/storage wall, tail
+// predictability, cross-layer co-design) applied to the toolkit itself.
+// cmd/arch21d exposes the engine over HTTP.
+package serve
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+)
+
+// Cache is a sharded, memoizing byte cache. Keys hash to one of N
+// power-of-two shards, each guarded by its own mutex so concurrent readers
+// on different shards never contend. Entries carry an insertion timestamp,
+// a TTL, and a per-entry hit counter, serialized with the same varint
+// framing the result codec uses.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+	ttl    time.Duration
+	// now is the clock; replaceable in tests (cf. freecache's custom
+	// timer).
+	now func() time.Time
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	hits    uint64
+	misses  uint64
+	expired uint64
+}
+
+// CacheStats aggregates shard counters. JSON tags let servers expose the
+// stats directly.
+type CacheStats struct {
+	// Entries is the number of live (possibly expired but uncollected)
+	// entries.
+	Entries int `json:"entries"`
+	// Hits and Misses count Get outcomes; Expired counts entries
+	// dropped because their TTL lapsed.
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Expired uint64 `json:"expired"`
+	// Shards is the shard count.
+	Shards int `json:"shards"`
+}
+
+// NewCache builds a cache with at least the requested number of shards
+// (rounded up to a power of two, minimum 1) and the given TTL. A zero or
+// negative TTL means entries never expire.
+func NewCache(shards int, ttl time.Duration) *Cache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+		ttl:    ttl,
+		now:    time.Now,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string][]byte)
+	}
+	return c
+}
+
+// fnv1a hashes a key (inline FNV-1a, no allocation).
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// cacheEntry is the decoded form of a stored entry.
+type cacheEntry struct {
+	// addedUnixNano is the insertion time.
+	addedUnixNano int64
+	// ttlNanos is the entry lifetime (0 = immortal).
+	ttlNanos int64
+	// hits counts successful Gets of this entry.
+	hits int64
+	// val is the cached payload.
+	val []byte
+}
+
+// Encoded entry layout: the hit counter is a fixed 8-byte little-endian
+// word so Get can bump it in place (no realloc, no copy on the hot path);
+// the timestamp, TTL, and value length follow as varints, then the value.
+const entryHitsLen = 8
+
+// encode serializes the entry.
+func (e cacheEntry) encode() []byte {
+	buf := make([]byte, entryHitsLen, entryHitsLen+3*binary.MaxVarintLen64+len(e.val))
+	binary.LittleEndian.PutUint64(buf, uint64(e.hits))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(e.addedUnixNano)
+	put(e.ttlNanos)
+	put(int64(len(e.val)))
+	buf = append(buf, e.val...)
+	return buf
+}
+
+// decodeEntry parses an encoded entry; ok is false on corruption. The
+// returned val aliases buf.
+func decodeEntry(buf []byte) (e cacheEntry, ok bool) {
+	if len(buf) < entryHitsLen {
+		return e, false
+	}
+	e.hits = int64(binary.LittleEndian.Uint64(buf))
+	off := entryHitsLen
+	get := func() (int64, bool) {
+		v, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	var valLen int64
+	var good bool
+	if e.addedUnixNano, good = get(); !good {
+		return e, false
+	}
+	if e.ttlNanos, good = get(); !good {
+		return e, false
+	}
+	if valLen, good = get(); !good {
+		return e, false
+	}
+	if valLen < 0 || valLen != int64(len(buf)-off) {
+		return e, false
+	}
+	e.val = buf[off:]
+	return e, true
+}
+
+// Get returns the cached payload for key, bumping the entry's hit counter
+// in place. Expired entries are evicted lazily on access. The returned
+// slice aliases cache-owned memory and must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	now := c.now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	e, good := decodeEntry(raw)
+	if !good {
+		delete(s.entries, key)
+		s.misses++
+		return nil, false
+	}
+	if e.ttlNanos > 0 && now-e.addedUnixNano > e.ttlNanos {
+		delete(s.entries, key)
+		s.expired++
+		s.misses++
+		return nil, false
+	}
+	// Only the fixed hit-counter word is ever mutated after insertion, so
+	// previously returned val slices stay stable.
+	binary.LittleEndian.PutUint64(raw, uint64(e.hits+1))
+	s.hits++
+	return e.val, true
+}
+
+// Set stores a payload under key with the cache's TTL.
+func (c *Cache) Set(key string, val []byte) {
+	e := cacheEntry{
+		addedUnixNano: c.now().UnixNano(),
+		ttlNanos:      int64(c.ttl),
+		val:           val,
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	s.entries[key] = e.encode()
+	s.mu.Unlock()
+}
+
+// Hits returns the hit counter for key's entry (0 if absent), without
+// counting as an access.
+func (c *Cache) Hits(key string) int64 {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.entries[key]
+	if !ok {
+		return 0
+	}
+	e, good := decodeEntry(raw)
+	if !good {
+		return 0
+	}
+	return e.hits
+}
+
+// Delete removes key. It reports whether an entry was present.
+func (c *Cache) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	return ok
+}
+
+// Clear drops every entry (counters are preserved).
+func (c *Cache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string][]byte)
+		s.mu.Unlock()
+	}
+}
+
+// Stats aggregates counters across shards.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Expired += s.expired
+		s.mu.Unlock()
+	}
+	return st
+}

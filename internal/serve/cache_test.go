@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheSetGetRoundTrip(t *testing.T) {
+	c := NewCache(8, 0)
+	c.Set("k1", []byte("hello"))
+	v, ok := c.Get("k1")
+	if !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Get k1: got (%q, %v)", v, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get absent: expected miss")
+	}
+	c.Set("k1", []byte("overwritten"))
+	v, _ = c.Get("k1")
+	if !bytes.Equal(v, []byte("overwritten")) {
+		t.Fatalf("overwrite: got %q", v)
+	}
+	c.Set("empty", nil)
+	v, ok = c.Get("empty")
+	if !ok || len(v) != 0 {
+		t.Fatalf("empty value: got (%q, %v)", v, ok)
+	}
+}
+
+func TestCacheShardCountRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		c := NewCache(tc.ask, 0)
+		if got := c.Stats().Shards; got != tc.want {
+			t.Fatalf("NewCache(%d): got %d shards, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(4, time.Second)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Set("k", []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(999 * time.Millisecond)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry inside TTL should hit")
+	}
+	now = now.Add(2 * time.Millisecond)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry past TTL should miss")
+	}
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired counter: got %d want 1", st.Expired)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("expired entry should be evicted, have %d entries", st.Entries)
+	}
+}
+
+func TestCacheZeroTTLNeverExpires(t *testing.T) {
+	c := NewCache(1, 0)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Set("k", []byte("v"))
+	now = now.Add(100 * 365 * 24 * time.Hour)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("zero-TTL entry must never expire")
+	}
+}
+
+func TestCacheHitCounters(t *testing.T) {
+	c := NewCache(4, 0)
+	c.Set("k", []byte("v"))
+	if h := c.Hits("k"); h != 0 {
+		t.Fatalf("fresh entry hits: got %d want 0", h)
+	}
+	for i := 0; i < 5; i++ {
+		c.Get("k")
+	}
+	if h := c.Hits("k"); h != 5 {
+		t.Fatalf("entry hits: got %d want 5", h)
+	}
+	if h := c.Hits("absent"); h != 0 {
+		t.Fatalf("absent entry hits: got %d want 0", h)
+	}
+	st := c.Stats()
+	if st.Hits != 5 || st.Misses != 0 {
+		t.Fatalf("stats: got hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheEntryCodecRoundTrip(t *testing.T) {
+	for _, e := range []cacheEntry{
+		{},
+		{addedUnixNano: 123456789, ttlNanos: int64(time.Hour), hits: 42, val: []byte("payload")},
+		{addedUnixNano: -5, hits: 1 << 40, val: make([]byte, 10000)},
+	} {
+		got, ok := decodeEntry(e.encode())
+		if !ok {
+			t.Fatalf("decodeEntry failed for %+v", e)
+		}
+		if got.addedUnixNano != e.addedUnixNano || got.ttlNanos != e.ttlNanos ||
+			got.hits != e.hits || !bytes.Equal(got.val, e.val) {
+			t.Fatalf("round trip: got %+v want %+v", got, e)
+		}
+	}
+	if _, ok := decodeEntry(nil); ok {
+		t.Fatal("decodeEntry(nil) should fail")
+	}
+	enc := cacheEntry{hits: 3, val: []byte("abc")}.encode()
+	if _, ok := decodeEntry(enc[:len(enc)-1]); ok {
+		t.Fatal("truncated entry should fail")
+	}
+}
+
+func TestCacheDeleteAndClear(t *testing.T) {
+	c := NewCache(4, 0)
+	for i := 0; i < 20; i++ {
+		c.Set(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if st := c.Stats(); st.Entries != 20 {
+		t.Fatalf("entries: got %d want 20", st.Entries)
+	}
+	if !c.Delete("k3") || c.Delete("k3") {
+		t.Fatal("Delete should report presence exactly once")
+	}
+	c.Clear()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after Clear: got %d want 0", st.Entries)
+	}
+}
+
+func TestCacheKeysSpreadAcrossShards(t *testing.T) {
+	c := NewCache(16, 0)
+	touched := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		touched[fnv1a(fmt.Sprintf("key-%d", i))&c.mask] = true
+	}
+	if len(touched) < 16 {
+		t.Fatalf("1000 keys hit only %d/16 shards", len(touched))
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(8, 0)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%37)
+				if i%3 == 0 {
+					c.Set(key, []byte{byte(w), byte(i)})
+				} else {
+					c.Get(key)
+				}
+				if i%100 == 0 {
+					c.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

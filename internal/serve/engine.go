@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// ErrUnknownExperiment is returned (wrapped) by Serve when the ID is not
+// registered, so servers can distinguish a missing resource from an
+// internal failure.
+var ErrUnknownExperiment = errors.New("serve: unknown experiment")
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the cache shard count (rounded up to a power of two;
+	// default 16).
+	Shards int
+	// TTL is the cache entry lifetime (default 0: entries never expire —
+	// experiments are deterministic, so staleness is impossible; a TTL
+	// only bounds memory).
+	TTL time.Duration
+	// Workers bounds concurrent cold experiment runs (default 4).
+	Workers int
+	// Queue is the worker-pool queue depth (default 2*Workers).
+	Queue int
+	// SampleCap is the latency reservoir capacity per outcome class
+	// (default 4096).
+	SampleCap int
+	// Runner executes one experiment by ID. Defaults to the core
+	// registry; injectable for tests.
+	Runner func(id string) (core.Result, error)
+}
+
+// Engine serves experiment results concurrently: cache first, then
+// singleflight-deduplicated execution on a bounded worker pool, with
+// per-request latency recorded so the engine can report its own tail.
+type Engine struct {
+	cache *Cache
+	fg    flightGroup
+	pool  *Pool
+	run   func(id string) (core.Result, error)
+
+	requests   atomic.Int64
+	hits       atomic.Int64
+	deduped    atomic.Int64
+	executions atomic.Int64
+
+	hitLat  *stats.LatencyRecorder
+	coldLat *stats.LatencyRecorder
+	allLat  *stats.LatencyRecorder
+
+	started time.Time
+}
+
+// Response is one served result.
+type Response struct {
+	// ID is the experiment ID served.
+	ID string
+	// Result is the decoded experiment output.
+	Result core.Result
+	// CacheHit reports whether the result came straight from the cache.
+	CacheHit bool
+	// Shared reports whether this request piggybacked on another
+	// caller's in-flight execution (singleflight).
+	Shared bool
+	// Latency is the request's wall time inside the engine.
+	Latency time.Duration
+}
+
+// runRegistry is the default Runner: execute a registered experiment.
+func runRegistry(id string) (core.Result, error) {
+	e, ok := core.ByID(id)
+	if !ok {
+		return core.Result{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
+	}
+	return e.Run(), nil
+}
+
+// NewEngine builds and starts an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 2 * cfg.Workers
+	}
+	if cfg.SampleCap <= 0 {
+		cfg.SampleCap = 4096
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = runRegistry
+	}
+	return &Engine{
+		cache:   NewCache(cfg.Shards, cfg.TTL),
+		pool:    NewPool(cfg.Workers, cfg.Queue),
+		run:     cfg.Runner,
+		hitLat:  stats.NewLatencyRecorder(cfg.SampleCap, 1),
+		coldLat: stats.NewLatencyRecorder(cfg.SampleCap, 2),
+		allLat:  stats.NewLatencyRecorder(cfg.SampleCap, 3),
+		started: time.Now(),
+	}
+}
+
+// Serve returns the result for one experiment ID: from the cache when
+// memoized, otherwise executed once (no matter how many callers arrive
+// concurrently) on the bounded pool and memoized on the way out.
+func (e *Engine) Serve(id string) (Response, error) {
+	t0 := time.Now()
+	e.requests.Add(1)
+
+	if raw, ok := e.cache.Get(id); ok {
+		res, err := core.DecodeResult(raw)
+		if err != nil {
+			// A corrupt entry is unservable; drop it and fall through
+			// to a fresh execution.
+			e.cache.Delete(id)
+		} else {
+			e.hits.Add(1)
+			lat := time.Since(t0)
+			e.observe(e.hitLat, lat)
+			return Response{ID: id, Result: res, CacheHit: true, Latency: lat}, nil
+		}
+	}
+
+	return e.serveMiss(id, t0)
+}
+
+// serveMiss is Serve's path after a cache miss: singleflight-deduplicated
+// execution on the bounded pool, memoizing on the way out.
+func (e *Engine) serveMiss(id string, t0 time.Time) (Response, error) {
+	var leaderHit bool
+	raw, err, shared := e.fg.Do(id, func() ([]byte, error) {
+		// A caller can become flight leader just after the previous
+		// leader memoized and left (it missed the cache before the Set
+		// landed). Re-check here so an already-memoized experiment is
+		// never re-executed.
+		if raw, ok := e.cache.Get(id); ok {
+			leaderHit = true
+			return raw, nil
+		}
+		return e.pool.Run(func() ([]byte, error) {
+			e.executions.Add(1)
+			res, err := e.run(id)
+			if err != nil {
+				return nil, err
+			}
+			enc := res.Encode()
+			e.cache.Set(id, enc)
+			return enc, nil
+		})
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	if shared {
+		e.deduped.Add(1)
+	}
+	res, err := core.DecodeResult(raw)
+	if err != nil {
+		return Response{}, err
+	}
+	lat := time.Since(t0)
+	if leaderHit && !shared {
+		e.hits.Add(1)
+		e.observe(e.hitLat, lat)
+		return Response{ID: id, Result: res, CacheHit: true, Latency: lat}, nil
+	}
+	e.observe(e.coldLat, lat)
+	return Response{ID: id, Result: res, Shared: shared, Latency: lat}, nil
+}
+
+func (e *Engine) observe(class *stats.LatencyRecorder, lat time.Duration) {
+	class.Observe(lat.Seconds())
+	e.allLat.Observe(lat.Seconds())
+}
+
+// Metrics is a point-in-time engine health snapshot.
+type Metrics struct {
+	// UptimeSeconds is time since NewEngine.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts Serve calls; CacheHits those answered from cache;
+	// Deduped those that piggybacked on an in-flight execution;
+	// Executions the underlying experiment runs actually performed.
+	Requests   int64 `json:"requests"`
+	CacheHits  int64 `json:"cache_hits"`
+	Deduped    int64 `json:"deduped"`
+	Executions int64 `json:"executions"`
+	// Workers is the pool's concurrency bound.
+	Workers int `json:"workers"`
+	// Cache aggregates shard counters.
+	Cache CacheStats `json:"cache"`
+	// HitLatency, ColdLatency, AllLatency are per-class latency
+	// snapshots (seconds).
+	HitLatency  stats.LatencySnapshot `json:"hit_latency"`
+	ColdLatency stats.LatencySnapshot `json:"cold_latency"`
+	AllLatency  stats.LatencySnapshot `json:"all_latency"`
+}
+
+// Metrics returns current counters and latency snapshots.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		UptimeSeconds: time.Since(e.started).Seconds(),
+		Requests:      e.requests.Load(),
+		CacheHits:     e.hits.Load(),
+		Deduped:       e.deduped.Load(),
+		Executions:    e.executions.Load(),
+		Workers:       e.pool.Workers(),
+		Cache:         e.cache.Stats(),
+		HitLatency:    e.hitLat.Snapshot(),
+		ColdLatency:   e.coldLat.Snapshot(),
+		AllLatency:    e.allLat.Snapshot(),
+	}
+}
+
+// Executions returns how many underlying experiment runs have happened
+// (the number singleflight and the cache exist to minimize).
+func (e *Engine) Executions() int64 { return e.executions.Load() }
+
+// Invalidate drops one memoized result. It reports whether one was
+// present.
+func (e *Engine) Invalidate(id string) bool { return e.cache.Delete(id) }
+
+// Reset drops every memoized result.
+func (e *Engine) Reset() { e.cache.Clear() }
+
+// Close shuts down the worker pool. Serve must not be called after Close.
+func (e *Engine) Close() { e.pool.Close() }

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// HTTP API:
+//
+//	GET /healthz              liveness probe
+//	GET /experiments          registered experiments with their claims
+//	GET /run/{id}             serve one experiment (JSON envelope)
+//	GET /run/{id}?format=text rendered ASCII report
+//	GET /run/{id}?format=csv  table/figure as CSV
+//	GET /stats                engine metrics: counters, cache, p50/p99
+//
+// Every response is served through the engine, so hits, dedup, and
+// latency percentiles in /stats reflect real traffic.
+
+// experimentInfo is one /experiments row.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Claim string `json:"claim"`
+}
+
+// runEnvelope is the /run/{id} JSON response.
+type runEnvelope struct {
+	ID        string   `json:"id"`
+	CacheHit  bool     `json:"cache_hit"`
+	Shared    bool     `json:"shared"`
+	LatencyMS float64  `json:"latency_ms"`
+	Findings  []string `json:"findings,omitempty"`
+	Report    string   `json:"report"`
+}
+
+// Handler returns the engine's HTTP API.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		var list []experimentInfo
+		for _, ex := range core.Registry() {
+			list = append(list, experimentInfo{ID: ex.ID, Title: ex.Title, Claim: ex.PaperClaim})
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+	mux.HandleFunc("GET /run/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		resp, err := e.Serve(id)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownExperiment) {
+				status = http.StatusNotFound
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			writeJSON(w, http.StatusOK, runEnvelope{
+				ID:        resp.ID,
+				CacheHit:  resp.CacheHit,
+				Shared:    resp.Shared,
+				LatencyMS: resp.Latency.Seconds() * 1e3,
+				Findings:  resp.Result.Findings,
+				Report:    resp.Result.Render(),
+			})
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(resp.Result.Render()))
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			switch {
+			case resp.Result.Table != nil:
+				_, _ = w.Write([]byte(resp.Result.Table.CSV()))
+			case resp.Result.Figure != nil:
+				_, _ = w.Write([]byte(resp.Result.Figure.CSV()))
+			}
+		default:
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": "format must be json, text, or csv"})
+		}
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Metrics())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

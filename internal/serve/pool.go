@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool is a bounded worker pool: at most Workers tasks execute at once and
+// excess submissions queue. It bounds the compute an engine will spend on
+// concurrent cold runs — the admission-control half of tail-predictable
+// serving (unbounded concurrency is how p99 dies).
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	workers int
+}
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// NewPool starts a pool with n workers (minimum 1) and a queue of depth
+// queue (minimum 0).
+func NewPool(n, queue int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue), workers: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues a task, blocking while the queue is full. It returns
+// ErrPoolClosed after Close.
+func (p *Pool) Submit(task func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	// Holding the lock across the send keeps Close's channel close from
+	// racing an in-flight Submit. Queue-full blocking therefore also
+	// briefly blocks other submitters — acceptable for this engine, where
+	// queue depth is sized to the worker count.
+	defer p.mu.Unlock()
+	p.tasks <- task
+	return nil
+}
+
+// Run executes task on the pool and waits for it, returning its result.
+func (p *Pool) Run(task func() ([]byte, error)) ([]byte, error) {
+	done := make(chan struct{})
+	var val []byte
+	var err error
+	if serr := p.Submit(func() {
+		val, err = task()
+		close(done)
+	}); serr != nil {
+		return nil, serr
+	}
+	<-done
+	return val, err
+}
+
+// Close stops accepting tasks and waits for queued ones to drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

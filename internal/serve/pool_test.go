@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4, 8)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("tasks run: got %d want 100", n.Load())
+	}
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close: got %v want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 64)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		err := p.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			<-gate
+			cur.Add(-1)
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeded %d workers", peak.Load(), workers)
+	}
+}
+
+func TestPoolRunReturnsValues(t *testing.T) {
+	p := NewPool(2, 2)
+	defer p.Close()
+	v, err := p.Run(func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("Run: got (%q, %v)", v, err)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(1, 0)
+	p.Close()
+	p.Close()
+}

@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent calls by key: while one execution for
+// a key is in flight, later callers for the same key block and share its
+// result instead of launching their own (Dean's thundering-herd collapse,
+// in the small). The zero value is ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// the caller received another caller's execution.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+
+	return c.val, c.err, false
+}

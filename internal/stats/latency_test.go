@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLatencyRecorderExactWithinCapacity(t *testing.T) {
+	l := NewLatencyRecorder(1000, 1)
+	for i := 1; i <= 100; i++ {
+		l.Observe(float64(i))
+	}
+	s := l.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count: got %d want 100", s.Count)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max: got %v/%v want 1/100", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean: got %v want 50.5", s.Mean)
+	}
+	if math.Abs(s.P50-50.5) > 1 {
+		t.Fatalf("p50: got %v want ~50.5", s.P50)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Fatalf("p99: got %v want ~99", s.P99)
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	l := NewLatencyRecorder(8, 1)
+	s := l.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestLatencyRecorderReservoirSampling(t *testing.T) {
+	// 100k observations through a 1k reservoir drawn uniformly from [0,1):
+	// the estimated median must land near 0.5 and p99 near 0.99.
+	l := NewLatencyRecorder(1000, 42)
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		l.Observe(r.Float64())
+	}
+	s := l.Snapshot()
+	if s.Count != 100000 {
+		t.Fatalf("count: got %d", s.Count)
+	}
+	if math.Abs(s.P50-0.5) > 0.05 {
+		t.Fatalf("reservoir p50: got %v want ~0.5", s.P50)
+	}
+	if math.Abs(s.P99-0.99) > 0.02 {
+		t.Fatalf("reservoir p99: got %v want ~0.99", s.P99)
+	}
+	// Moments stay exact regardless of reservoir size.
+	if math.Abs(s.Mean-0.5) > 0.01 {
+		t.Fatalf("mean: got %v want ~0.5", s.Mean)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	l := NewLatencyRecorder(256, 3)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Observe(float64(w*per + i))
+				if i%100 == 0 {
+					_ = l.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count: got %d want %d", s.Count, workers*per)
+	}
+	if s.Max != float64(workers*per-1) {
+		t.Fatalf("max: got %v want %v", s.Max, workers*per-1)
+	}
+}
