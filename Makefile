@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-serve clean
+.PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,14 +20,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# docs-check fails when DESIGN.md §2 drifts from the experiment registry
+# or a package loses its godoc comment.
+docs-check:
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc' -v .
+
 # check is what CI runs.
-check: vet build race
+check: fmt-check vet build docs-check race
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchmem .
+
+bench-sweep:
+	$(GO) test -run xxx -bench 'BenchmarkSweep' -benchmem .
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 	"repro/internal/reliability"
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/tm"
 	"repro/internal/workload"
 )
@@ -285,6 +286,72 @@ func BenchmarkServeContentionCacheHot(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Sweep benchmarks (DESIGN.md §5) ---
+
+// sweepBenchSpec is an 8-point E7 grid (pure closed-form math, so the
+// benchmark measures the sweep machinery, not simulation weight).
+func sweepBenchSpec(b *testing.B) sweep.Spec {
+	b.Helper()
+	sp, err := sweep.ParseSpec("E7", []string{"f=0.9:0.99:0.03", "bces=64,256"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkSweepColdGrid measures a fully-cold 8-point sweep per
+// iteration: grid expansion, fan-out, 8 executions, aggregation.
+func BenchmarkSweepColdGrid(b *testing.B) {
+	e := serve.NewEngine(serve.Config{Workers: 4})
+	defer e.Close()
+	sp := sweepBenchSpec(b)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		if _, err := sweep.Run(e, sp, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e.Executions())/float64(b.N), "execs/op")
+}
+
+// BenchmarkSweepWarmGrid measures the same sweep fully memoized — pure
+// fan-out, cache-hit, and aggregation overhead. Each unique grid point
+// executes exactly once across the whole benchmark (execs/op -> 0).
+func BenchmarkSweepWarmGrid(b *testing.B) {
+	e := serve.NewEngine(serve.Config{Workers: 4})
+	defer e.Close()
+	sp := sweepBenchSpec(b)
+	if _, err := sweep.Run(e, sp, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := sweep.Run(e, sp, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.CacheHits != sum.Points {
+			b.Fatalf("warm sweep missed the cache: %d/%d", sum.CacheHits, sum.Points)
+		}
+	}
+	b.ReportMetric(float64(e.Executions())/float64(b.N), "execs/op")
+}
+
+// BenchmarkSweepGridExpansion measures axis parsing plus cross-product
+// expansion for a 3-axis, 125-point grid (no execution).
+func BenchmarkSweepGridExpansion(b *testing.B) {
+	axes := []string{"a=1:5:1", "b=1:5:1", "c=1:5:1"}
+	for i := 0; i < b.N; i++ {
+		sp, err := sweep.ParseSpec("E7", axes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g := sp.Grid(); len(g) != 125 {
+			b.Fatalf("grid size %d", len(g))
+		}
+	}
 }
 
 // --- Substrate micro-benchmarks ---

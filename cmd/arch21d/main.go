@@ -1,6 +1,8 @@
 // Command arch21d serves the toolkit's experiments over HTTP through the
-// concurrent serving engine: sharded memoizing result cache, singleflight
-// deduplication, a bounded worker pool, and self-reported tail latency.
+// concurrent serving engine: sharded memoizing result cache (parameter
+// assignments folded into cache keys), singleflight deduplication, a
+// bounded worker pool, and self-reported tail latency. Parameter sweeps
+// fan grids out over the same engine and stream NDJSON.
 //
 // Usage:
 //
@@ -8,15 +10,19 @@
 //
 // Endpoints:
 //
-//	GET /healthz              liveness probe
-//	GET /experiments          registered experiments with their claims
-//	GET /run/{id}             serve one experiment (add ?format=text|csv)
-//	GET /stats                request counters, cache stats, p50/p99
+//	GET  /healthz              liveness probe
+//	GET  /experiments          registered experiments: claims + param schemas
+//	GET  /run/{id}             serve one experiment (add ?format=text|csv)
+//	GET  /run/{id}?param=n=v   override declared parameters (repeatable)
+//	POST /sweep                parameter-grid sweep, streamed as NDJSON
+//	GET  /stats                request counters, cache stats, p50/p99
 //
 // Example:
 //
 //	arch21d &
 //	curl localhost:8021/run/E3
+//	curl "localhost:8021/run/E7?param=f=0.99&param=bces=1024"
+//	curl -d '{"id":"E7","params":["f=0.9:0.99:0.03","bces=64,256"]}' localhost:8021/sweep
 //	curl localhost:8021/stats
 package main
 
@@ -30,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -51,11 +58,15 @@ func main() {
 	})
 	defer engine.Close()
 
+	mux := http.NewServeMux()
+	mux.Handle("/", engine.Handler())
+	mux.Handle("POST /sweep", sweep.Handler(engine))
+
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      engine.Handler(),
+		Handler:      mux,
 		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 5 * time.Minute, // cold "run all"-class requests are slow
+		WriteTimeout: 5 * time.Minute, // cold "run all"-class requests and sweeps are slow
 	}
 	log.Printf("arch21d: serving %d experiments on %s (shards=%d ttl=%v workers=%d)",
 		len(core.Registry()), *addr, *shards, *ttl, *workers)

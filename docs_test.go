@@ -1,0 +1,135 @@
+package repro
+
+// Docs-drift guards: DESIGN.md §2 must index every registered experiment
+// and carry its exact parameter schema, every declared parameter default
+// must validate against its own range, and every package must carry a
+// package-level godoc comment. CI runs these explicitly as its docs-drift
+// step.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// design2 returns the §2 section of DESIGN.md.
+func design2(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(raw)
+	start := strings.Index(doc, "## §2")
+	end := strings.Index(doc, "## §3")
+	if start < 0 || end < 0 || end <= start {
+		t.Fatal("DESIGN.md lost its §2/§3 structure")
+	}
+	return doc[start:end]
+}
+
+// Every registered experiment ID appears as a §2 table row, and every
+// declared parameter schema appears verbatim (ParamSpec.String inside
+// backticks), so the documented index cannot drift from the registry.
+func TestRegistryMatchesDesignDoc(t *testing.T) {
+	sec := design2(t)
+	for _, e := range core.Registry() {
+		if !strings.Contains(sec, "| "+e.ID+" ") {
+			t.Errorf("DESIGN.md §2 is missing a row for %s", e.ID)
+			continue
+		}
+		row := ""
+		for _, line := range strings.Split(sec, "\n") {
+			if strings.HasPrefix(line, "| "+e.ID+" ") {
+				row = line
+				break
+			}
+		}
+		for _, s := range e.Params {
+			if want := "`" + s.String() + "`"; !strings.Contains(row, want) {
+				t.Errorf("DESIGN.md §2 row for %s is missing schema %s (row: %s)",
+					e.ID, want, row)
+			}
+		}
+		if len(e.Params) == 0 && strings.Count(row, "`") > 0 {
+			t.Errorf("DESIGN.md §2 row for %s documents parameters the registry does not declare: %s",
+				e.ID, row)
+		}
+	}
+	// No §2 row may name an unregistered experiment.
+	for _, line := range strings.Split(sec, "\n") {
+		if !strings.HasPrefix(line, "| E") && !strings.HasPrefix(line, "| T") {
+			continue
+		}
+		id := strings.TrimSpace(strings.Split(line, "|")[1])
+		if _, ok := core.ByID(id); !ok {
+			t.Errorf("DESIGN.md §2 documents %s, which is not registered", id)
+		}
+	}
+}
+
+// Every declared parameter default must pass its own spec's validation —
+// a default outside its range would make the experiment unrunnable at the
+// zero-param point every cache key anchors on.
+func TestParamDefaultsValidate(t *testing.T) {
+	for _, e := range core.Registry() {
+		seen := map[string]bool{}
+		for _, s := range e.Params {
+			if err := s.Check(s.Default); err != nil {
+				t.Errorf("%s: default for %s fails its own range: %v", e.ID, s.Name, err)
+			}
+			if seen[s.Name] {
+				t.Errorf("%s: duplicate parameter %s", e.ID, s.Name)
+			}
+			seen[s.Name] = true
+		}
+		// Resolution of the empty assignment must succeed for every
+		// experiment (this is what Serve(id) runs).
+		if _, err := e.ResolveParams(nil); err != nil {
+			t.Errorf("%s: ResolveParams(nil): %v", e.ID, err)
+		}
+	}
+}
+
+// Every internal package carries a package-level godoc comment
+// ("// Package <name> ..."), and every command a "// Command <name> ..."
+// one.
+func TestEveryPackageHasGodoc(t *testing.T) {
+	check := func(dir, prefix string) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, ent := range entries {
+			if !ent.IsDir() {
+				continue
+			}
+			name := ent.Name()
+			files, err := filepath.Glob(filepath.Join(dir, name, "*.go"))
+			if err != nil || len(files) == 0 {
+				continue
+			}
+			want := prefix + " " + name + " "
+			found := false
+			for _, f := range files {
+				src, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatalf("read %s: %v", f, err)
+				}
+				if strings.Contains(string(src), "\n"+want) ||
+					strings.HasPrefix(string(src), want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s/%s has no package-level godoc (%q...)", dir, name, want)
+			}
+		}
+	}
+	check("internal", "// Package")
+	check("cmd", "// Command")
+}

@@ -6,6 +6,13 @@
 // Each experiment produces a report (table or figure) plus a list of
 // findings — measured values side by side with the paper's claim — which
 // cmd/arch21, the examples, and the benchmark harness all consume.
+//
+// Experiments may declare a typed parameter schema (ParamSpec) exposing
+// the model's knobs — Dennard generations, fork-join fanout, Hill-Marty
+// chip budgets. RunWith resolves an assignment against the schema and
+// runs the experiment at that design point; Run is the all-defaults
+// point, and results are deterministic per (ID, assignment), which is
+// what lets the serve cache memoize each grid point of a sweep.
 package core
 
 import (
@@ -25,7 +32,16 @@ type Result struct {
 	// Findings lists measured headline numbers next to the paper's
 	// claims, one per line.
 	Findings []string
+	// Headline, when set, is the experiment's single scalar summary
+	// metric — what a parameter sweep tabulates and plots per grid
+	// point. Parameterized experiments set it via SetHeadline; without
+	// it, sweep aggregation falls back to the first number in the first
+	// finding (which can be a parameter echo rather than a measurement).
+	Headline *float64
 }
+
+// SetHeadline records the result's scalar summary metric.
+func (r *Result) SetHeadline(v float64) { r.Headline = &v }
 
 // Render returns the full human-readable result.
 func (r Result) Render() string {
@@ -53,8 +69,18 @@ type Experiment struct {
 	Title string
 	// PaperClaim quotes or paraphrases the claim being reproduced.
 	PaperClaim string
-	// Run executes the experiment deterministically.
+	// Params declares the experiment's knobs, in presentation/cache-key
+	// order. Empty for fixed-point experiments.
+	Params []ParamSpec
+	// Run executes the experiment deterministically at its default
+	// parameter assignment. For parameterized experiments register
+	// synthesizes it from RunP, so registrations set one or the other.
 	Run func() Result
+	// RunP executes the experiment under a resolved parameter
+	// assignment (every declared knob present and validated). Use
+	// RunWith, which resolves and validates, rather than calling RunP
+	// directly.
+	RunP func(Params) Result
 }
 
 var registry = map[string]Experiment{}
@@ -62,6 +88,15 @@ var registry = map[string]Experiment{}
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("core: duplicate experiment " + e.ID)
+	}
+	validateSpecs(e.ID, e.Params)
+	if len(e.Params) > 0 && e.RunP == nil {
+		panic("core: experiment " + e.ID + " declares parameters but no RunP")
+	}
+	if e.Run == nil && e.RunP != nil {
+		runP := e.RunP
+		defaults := e.Defaults()
+		e.Run = func() Result { return runP(defaults) }
 	}
 	registry[e.ID] = e
 }

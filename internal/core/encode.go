@@ -8,16 +8,19 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/report"
 )
 
 // Result payload layout: one flags byte (bit 0 = table present, bit 1 =
-// figure present), then the length-prefixed table payload, the
-// length-prefixed figure payload, and a count-prefixed findings list.
+// figure present, bit 2 = headline present), then the fixed 8-byte
+// headline float, the length-prefixed table payload, the length-prefixed
+// figure payload, and a count-prefixed findings list.
 const (
-	flagTable  = 0x01
-	flagFigure = 0x02
+	flagTable    = 0x01
+	flagFigure   = 0x02
+	flagHeadline = 0x04
 )
 
 // Encode serializes the result to a compact binary payload.
@@ -32,8 +35,16 @@ func (r Result) Encode() []byte {
 		flags |= flagFigure
 		fig = r.Figure.Encode()
 	}
+	if r.Headline != nil {
+		flags |= flagHeadline
+	}
 	buf := make([]byte, 0, 1+len(tbl)+len(fig)+64)
 	buf = append(buf, flags)
+	if r.Headline != nil {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(*r.Headline))
+		buf = append(buf, w[:]...)
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
@@ -63,6 +74,14 @@ func DecodeResult(buf []byte) (Result, error) {
 	}
 	flags := buf[0]
 	off := 1
+	if flags&flagHeadline != 0 {
+		if len(buf)-off < 8 {
+			return r, fmt.Errorf("core: %w: truncated headline", report.ErrCorrupt)
+		}
+		h := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		r.Headline = &h
+		off += 8
+	}
 	uvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(buf[off:])
 		if n <= 0 {
@@ -111,6 +130,16 @@ func DecodeResult(buf []byte) (Result, error) {
 			return r, err
 		}
 		r.Findings = append(r.Findings, string(c))
+	}
+	// Reject trailing bytes: a memoized payload that decodes but does not
+	// consume its whole buffer is corrupt, and silently accepting it
+	// would let a truncation-plus-padding round-trip (this matters for
+	// findings-only results, whose payloads are almost all findings
+	// bytes). The serve cache treats the error like any other corrupt
+	// entry: drop and re-execute.
+	if off != len(buf) {
+		return r, fmt.Errorf("core: %w: %d trailing bytes after result",
+			report.ErrCorrupt, len(buf)-off)
 	}
 	return r, nil
 }

@@ -14,11 +14,13 @@ func sampleResult() Result {
 	s := f.AddSeries("s1")
 	s.Add(1, 2)
 	s.Add(3, 4.5)
-	return Result{
+	r := Result{
 		Table:    t,
 		Figure:   f,
 		Findings: []string{"finding one", "finding two: 63% > 50%"},
 	}
+	r.SetHeadline(63.2)
+	return r
 }
 
 func TestResultEncodeDecodeRoundTrip(t *testing.T) {
@@ -41,6 +43,12 @@ func TestResultEncodeDecodeRoundTrip(t *testing.T) {
 			}
 			if len(got.Findings) != len(r.Findings) {
 				t.Fatalf("findings: got %d want %d", len(got.Findings), len(r.Findings))
+			}
+			switch {
+			case (got.Headline == nil) != (r.Headline == nil):
+				t.Fatalf("headline presence lost: got %v want %v", got.Headline, r.Headline)
+			case got.Headline != nil && *got.Headline != *r.Headline:
+				t.Fatalf("headline: got %v want %v", *got.Headline, *r.Headline)
 			}
 		})
 	}
@@ -76,6 +84,56 @@ func TestDecodeResultRejectsGarbage(t *testing.T) {
 	for _, cut := range []int{1, 2, len(enc) / 3, len(enc) - 1} {
 		if _, err := DecodeResult(enc[:cut]); err == nil {
 			t.Fatalf("truncated payload (%d bytes) should fail", cut)
+		}
+	}
+}
+
+func TestDecodeResultRejectsTrailingBytes(t *testing.T) {
+	for name, r := range map[string]Result{
+		"table+figure+findings": sampleResult(),
+		"findings-only":         {Findings: []string{"just text"}},
+		"empty":                 {},
+	} {
+		padded := append(r.Encode(), 0x00)
+		if _, err := DecodeResult(padded); err == nil {
+			t.Errorf("%s: payload with trailing bytes should fail", name)
+		}
+	}
+}
+
+// TestFindingsOnlyResultRoundTripsExactly guards the sweep-aggregation
+// contract: a grid point that carries only findings (nil Table, nil
+// Figure) must memoize byte-for-byte — encode, decode, and re-encode to
+// identical bytes with no finding lost or reordered.
+func TestFindingsOnlyResultRoundTripsExactly(t *testing.T) {
+	r := Result{Findings: []string{
+		"measured fraction at fanout 400: 98.3%",
+		"", // empty findings survive too
+		"headline 42",
+	}}
+	enc := r.Encode()
+	got, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	if got.Table != nil || got.Figure != nil {
+		t.Fatalf("round trip invented a table/figure: %+v", got)
+	}
+	if len(got.Findings) != len(r.Findings) {
+		t.Fatalf("findings count: got %d want %d", len(got.Findings), len(r.Findings))
+	}
+	for i := range r.Findings {
+		if got.Findings[i] != r.Findings[i] {
+			t.Fatalf("finding %d: got %q want %q", i, got.Findings[i], r.Findings[i])
+		}
+	}
+	re := got.Encode()
+	if len(re) != len(enc) {
+		t.Fatalf("re-encode length differs: %d vs %d", len(re), len(enc))
+	}
+	for i := range enc {
+		if re[i] != enc[i] {
+			t.Fatalf("re-encode differs at byte %d", i)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/cluster"
 	"repro/internal/qos"
 	"repro/internal/report"
@@ -13,7 +15,15 @@ func init() {
 		Title: "Tail at scale: the 63% amplification and hedging",
 		PaperClaim: "If 100 systems must jointly respond, 63% of requests incur the " +
 			"99th-percentile delay of the individual systems (§2.1, citing Dean)",
-		Run: runE3,
+		Params: []ParamSpec{
+			{Name: "fanout", Kind: IntParam, Default: 100, Min: 1, Max: 2000,
+				Doc: "leaves per fork-join request for the headline findings"},
+			{Name: "trials", Kind: IntParam, Default: 20000, Min: 1000, Max: 200000,
+				Doc: "Monte-Carlo trials per figure point (cut 5x past fanout 500)"},
+			{Name: "hedge", Kind: FloatParam, Default: 0.95, Min: 0.5, Max: 0.999,
+				Doc: "quantile after which a hedged duplicate request is issued"},
+		},
+		RunP: runE3,
 	})
 	register(Experiment{
 		ID:    "E15",
@@ -24,22 +34,29 @@ func init() {
 	})
 }
 
-func runE3() Result {
+func runE3(p Params) Result {
+	fanout := p.Int("fanout")
+	baseTrials := p.Int("trials")
+	hedgeQ := p.Float("hedge")
 	fig := report.NewFigure("E3: fraction of fork-join requests above leaf p99",
 		"fanout", "fraction > leaf p99")
 	closed := fig.AddSeries("closed form 1-0.99^n")
 	mc := fig.AddSeries("monte carlo")
 	hedgedP99 := fig.AddSeries("hedged p99 / plain p99")
 	leaf := cluster.DefaultLeafLatency()
-	var frac100 float64
-	var hedgeRatio100, extraLoad float64
-	for _, n := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000} {
+	var fracAt float64
+	var hedgeRatioAt, extraLoad float64
+	fanouts := []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	if i := sort.SearchInts(fanouts, fanout); i == len(fanouts) || fanouts[i] != fanout {
+		fanouts = append(fanouts[:i], append([]int{fanout}, fanouts[i:]...)...)
+	}
+	for _, n := range fanouts {
 		cf := cluster.FractionAboveQuantile(n, 0.99)
 		closed.Add(float64(n), cf)
 		r := stats.NewRNG(uint64(2014 + n))
-		trials := 20000
+		trials := baseTrials
 		if n >= 500 {
-			trials = 4000
+			trials = baseTrials / 5
 		}
 		plain := cluster.SimulateForkJoin(cluster.ForkJoinConfig{
 			Fanout: n, Leaf: leaf, Trials: trials}, r)
@@ -47,11 +64,11 @@ func runE3() Result {
 		rh := stats.NewRNG(uint64(7700 + n))
 		hedged := cluster.SimulateForkJoin(cluster.ForkJoinConfig{
 			Fanout: n, Leaf: leaf, Trials: trials,
-			Policy: cluster.Hedged, HedgeQuantile: 0.95}, rh)
+			Policy: cluster.Hedged, HedgeQuantile: hedgeQ}, rh)
 		hedgedP99.Add(float64(n), hedged.P99/plain.P99)
-		if n == 100 {
-			frac100 = plain.FracAboveLeafP99
-			hedgeRatio100 = hedged.P99 / plain.P99
+		if n == fanout {
+			fracAt = plain.FracAboveLeafP99
+			hedgeRatioAt = hedged.P99 / plain.P99
 			extraLoad = hedged.ExtraLoad
 		}
 	}
@@ -62,17 +79,19 @@ func runE3() Result {
 	qHigh := cluster.SimulateQueueing(cluster.QueueingConfig{
 		Leaves: 20, RootRate: 700, LeafService: stats.Exponential{Rate: 1000},
 		Requests: 4000, Seed: 31})
-	return Result{
+	res := Result{
 		Figure: fig,
 		Findings: []string{
-			finding("measured fraction at fanout 100: %.1f%% (paper: 63%%; closed form %.1f%%)",
-				frac100*100, cluster.FractionAboveQuantile(100, 0.99)*100),
+			finding("measured fraction at fanout %d: %.1f%% (paper: 63%%; closed form %.1f%%)",
+				fanout, fracAt*100, cluster.FractionAboveQuantile(fanout, 0.99)*100),
 			finding("hedged requests cut join p99 to %.0f%% of plain for %.1f%% extra load (Dean's mitigation shape)",
-				hedgeRatio100*100, extraLoad*100),
+				hedgeRatioAt*100, extraLoad*100),
 			finding("queueing: raising leaf utilization %.0f%% -> %.0f%% inflates join p99 %.1fx (tails are load-dependent)",
 				qLow.MeanLeafUtilization*100, qHigh.MeanLeafUtilization*100, qHigh.P99/qLow.P99),
 		},
 	}
+	res.SetHeadline(fracAt * 100)
+	return res
 }
 
 func runE15() Result {

@@ -24,7 +24,13 @@ func init() {
 		Title: "Operand fetch energy vs compute energy",
 		PaperClaim: "Fetching the operands for a floating-point multiply-add can " +
 			"consume one to two orders of magnitude more energy than the operation (§2.2)",
-		Run: runE5,
+		Params: []ParamSpec{
+			{Name: "operands", Kind: IntParam, Default: 3, Min: 1, Max: 8,
+				Doc: "operands fetched per FMA"},
+			{Name: "tile", Kind: IntParam, Default: 4096, Min: 256, Max: 65536,
+				Doc: "problem-size argument for kernel arithmetic intensity"},
+		},
+		RunP: runE5,
 	})
 	register(Experiment{
 		ID:    "E6",
@@ -86,30 +92,33 @@ func runE4() Result {
 	}
 }
 
-func runE5() Result {
+func runE5(p Params) Result {
+	operands := p.Int("operands")
+	tile := p.Int("tile")
 	tbl := energy.Table45()
-	out := report.NewTable("E5: energy to fetch 3 FMA operands (45nm, 64-bit)",
+	out := report.NewTable(
+		fmt.Sprintf("E5: energy to fetch %d FMA operands (45nm, 64-bit)", operands),
 		"operand source", "fetch energy", "ratio vs 50pJ FMA")
 	for _, lvl := range []string{"reg", "l1", "l2", "l3", "dram"} {
-		fetch := 3 * tbl.OperandFetch(lvl)
+		fetch := units.Energy(operands) * tbl.OperandFetch(lvl)
 		ratio := float64(fetch) / float64(tbl.FPOp)
 		out.AddRow(lvl, fetch.String(), report.FormatFloat(ratio)+"x")
 	}
-	dramRatio := float64(3*tbl.DRAM) / float64(tbl.FPOp)
-	l3Ratio := float64(3*tbl.SRAM1MB) / float64(tbl.FPOp)
+	dramRatio := float64(units.Energy(operands)*tbl.DRAM) / float64(tbl.FPOp)
+	l3Ratio := float64(units.Energy(operands)*tbl.SRAM1MB) / float64(tbl.FPOp)
 	// Roofline view: which standard kernels live below the energy-balance
 	// intensity (memory burns most of their joules).
 	rl := energy.StandardRoofline()
 	memBound := ""
 	for _, k := range workload.Kernels() {
-		if rl.EnergyPerOp(k.Intensity(4096)) > 2*rl.OpEnergy {
+		if rl.EnergyPerOp(k.Intensity(tile)) > 2*rl.OpEnergy {
 			if memBound != "" {
 				memBound += ", "
 			}
 			memBound += k.Name
 		}
 	}
-	return Result{
+	res := Result{
 		Table: out,
 		Findings: []string{
 			finding("DRAM operand fetch costs %.0fx the FMA (paper: 1-2 orders of magnitude)", dramRatio),
@@ -118,6 +127,8 @@ func runE5() Result {
 				rl.EnergyBalanceIntensity(), memBound),
 		},
 	}
+	res.SetHeadline(dramRatio)
+	return res
 }
 
 func runE6() Result {

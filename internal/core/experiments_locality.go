@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/energy"
 	"repro/internal/mem"
 	"repro/internal/report"
@@ -13,13 +15,21 @@ func init() {
 		PaperClaim: "We need compilation systems and tools that manage and enhance " +
 			"locality; runtimes that manage the memory hierarchy (§2.2 'At the " +
 			"Software Level')",
-		Run: runE20,
+		Params: []ParamSpec{
+			// Multiples of 32 keep every blocking factor (4..32) an exact
+			// divisor of the matrix dimension.
+			{Name: "n", Kind: IntParam, Default: 96, Min: 32, Max: 256, Step: 32,
+				Doc: "matrix dimension (n x n matmul)"},
+		},
+		RunP: runE20,
 	})
 }
 
-func runE20() Result {
-	const n = 96
-	tbl := report.NewTable("E20: matmul (96x96, 216KB working set) on an embedded 2-level hierarchy",
+func runE20(p Params) Result {
+	n := p.Int("n")
+	tbl := report.NewTable(
+		fmt.Sprintf("E20: matmul (%dx%d, %dKB working set) on an embedded 2-level hierarchy",
+			n, n, 3*n*n*8/1024),
 		"loop nest", "accesses", "DRAM accesses", "AMAT (ns)", "energy (mJ)")
 	naive := mem.ReplayTrace(mem.EmbeddedHierarchy(energy.Table45()),
 		func(v func(uint64, bool)) { mem.VisitMatMulNaive(n, v) })
@@ -37,7 +47,7 @@ func runE20() Result {
 			best, bestBlock = res, block
 		}
 	}
-	return Result{
+	res := Result{
 		Table: tbl,
 		Findings: []string{
 			finding("blocking (best block %d) cuts DRAM traffic %.0fx and memory energy %.1fx on identical work (paper: locality management wrings out waste)",
@@ -47,4 +57,6 @@ func runE20() Result {
 				naive.AMATSeconds/best.AMATSeconds),
 		},
 	}
+	res.SetHeadline(float64(naive.DRAMAccesses) / float64(best.DRAMAccesses))
+	return res
 }

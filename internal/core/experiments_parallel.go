@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/cluster"
 	"repro/internal/multicore"
 	"repro/internal/nvm"
@@ -15,7 +17,13 @@ func init() {
 		PaperClaim: "Future growth must come from massive on-chip parallelism; " +
 			"communication energy will outgrow computation energy and require " +
 			"rethinking 1,000-way parallelism (§1.2, §2.2)",
-		Run: runE7,
+		Params: []ParamSpec{
+			{Name: "f", Kind: FloatParam, Default: 0.975, Min: 0.5, Max: 0.9999,
+				Doc: "parallel fraction of the workload (Hill-Marty f)"},
+			{Name: "bces", Kind: IntParam, Default: 256, Min: 16, Max: 4096,
+				Doc: "chip budget in base-core equivalents (Hill-Marty n)"},
+		},
+		RunP: runE7,
 	})
 	register(Experiment{
 		ID:    "T2",
@@ -26,15 +34,24 @@ func init() {
 	})
 }
 
-func runE7() Result {
-	const n = 256
-	const f = 0.975
-	fig := report.NewFigure("E7: Hill-Marty speedup on a 256-BCE chip, f=0.975",
+func runE7(p Params) Result {
+	f := p.Float("f")
+	n := float64(p.Int("bces"))
+	fig := report.NewFigure(
+		fmt.Sprintf("E7: Hill-Marty speedup on a %d-BCE chip, f=%s",
+			p.Int("bces"), report.FormatFloat(f)),
 		"r (BCEs per big core)", "speedup")
 	sym := fig.AddSeries("symmetric")
 	asym := fig.AddSeries("asymmetric")
 	dyn := fig.AddSeries("dynamic")
-	for _, r := range []float64{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+	rs := []float64{}
+	for r := 1.0; r <= n; r *= 2 {
+		rs = append(rs, r)
+	}
+	if last := rs[len(rs)-1]; last != n {
+		rs = append(rs, n)
+	}
+	for _, r := range rs {
 		sym.Add(r, multicore.SymmetricSpeedup(f, n, r))
 		asym.Add(r, multicore.AsymmetricSpeedup(f, n, r))
 		dyn.Add(r, multicore.DynamicSpeedup(f, n, r))
@@ -45,7 +62,7 @@ func runE7() Result {
 	s64 := cm.EffectiveSpeedup(0.999, 64, 100, 1)
 	s1024 := cm.EffectiveSpeedup(0.999, 1024, 100, 1)
 	ppwDrop := cm.PerfPerWatt(1) / cm.PerfPerWatt(1024)
-	return Result{
+	res := Result{
 		Figure: fig,
 		Findings: []string{
 			finding("symmetric optimum at r=%.0f with %.1fx (interior optimum: neither sea-of-small-cores nor one big core)", bestR, bestS),
@@ -54,6 +71,8 @@ func runE7() Result {
 				s1024, s64, ppwDrop),
 		},
 	}
+	res.SetHeadline(bestS)
+	return res
 }
 
 func runT2() Result {

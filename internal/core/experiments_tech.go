@@ -16,7 +16,11 @@ func init() {
 		Title: "Technology scaling with and without Dennard",
 		PaperClaim: "Transistor count still 2x every 18-24 months, but power/chip " +
 			"would double each generation without voltage scaling (Table 1)",
-		Run: runE1,
+		Params: []ParamSpec{
+			{Name: "gens", Kind: IntParam, Default: 6, Min: 1, Max: 12,
+				Doc: "process generations projected beyond gen 0"},
+		},
+		RunP: runE1,
 	})
 	register(Experiment{
 		ID:    "E2",
@@ -34,8 +38,8 @@ func init() {
 	})
 }
 
-func runE1() Result {
-	const gens = 6
+func runE1(p Params) Result {
+	gens := p.Int("gens")
 	dennard := tech.Trajectory(tech.Dennard, gens)
 	post := tech.Trajectory(tech.PostDennard, gens)
 	tbl := report.NewTable("E1: scaling trajectories (relative to gen 0)",
@@ -45,7 +49,7 @@ func runE1() Result {
 			post[g].PowerChip, post[g].DarkFrac)
 	}
 	gap := tech.PowerGapAtGen(gens)
-	return Result{
+	res := Result{
 		Table: tbl,
 		Findings: []string{
 			finding("transistors at gen %d: %.0fx (paper: 2x per generation holds)",
@@ -58,6 +62,8 @@ func runE1() Result {
 				gens, post[gens].DarkFrac*100),
 		},
 	}
+	res.SetHeadline(gap)
+	return res
 }
 
 func runE2() Result {

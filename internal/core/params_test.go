@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func specExperiment() Experiment {
+	return Experiment{
+		ID:    "EX",
+		Title: "spec fixture",
+		Params: []ParamSpec{
+			{Name: "gens", Kind: IntParam, Default: 6, Min: 1, Max: 12, Doc: "generations"},
+			{Name: "f", Kind: FloatParam, Default: 0.975, Min: 0.5, Max: 0.9999, Doc: "parallel fraction"},
+		},
+		RunP: func(p Params) Result {
+			return Result{Findings: []string{
+				finding("gens=%d f=%s", p.Int("gens"), FormatParamValue(p.Float("f"))),
+			}}
+		},
+	}
+}
+
+func TestResolveParamsDefaultsAndOverrides(t *testing.T) {
+	e := specExperiment()
+	r, err := e.ResolveParams(nil)
+	if err != nil {
+		t.Fatalf("resolve nil: %v", err)
+	}
+	if r["gens"] != 6 || r["f"] != 0.975 {
+		t.Fatalf("defaults wrong: %v", r)
+	}
+	r, err = e.ResolveParams(Params{"gens": 9})
+	if err != nil {
+		t.Fatalf("resolve override: %v", err)
+	}
+	if r["gens"] != 9 || r["f"] != 0.975 {
+		t.Fatalf("override wrong: %v", r)
+	}
+}
+
+func TestResolveParamsRejects(t *testing.T) {
+	e := specExperiment()
+	cases := map[string]Params{
+		"unknown name": {"bogus": 1},
+		"above max":    {"gens": 13},
+		"below min":    {"f": 0.1},
+		"non-integral": {"gens": 2.5},
+		"nan":          {"f": nan()},
+	}
+	for name, p := range cases {
+		if _, err := e.ResolveParams(p); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// Cache keys: bare ID at defaults (explicit or implicit), schema-ordered
+// non-default assignments otherwise.
+func TestCacheKey(t *testing.T) {
+	e := specExperiment()
+	all, _ := e.ResolveParams(nil)
+	if got := e.CacheKey(all); got != "EX" {
+		t.Fatalf("default key = %q, want EX", got)
+	}
+	explicit, _ := e.ResolveParams(Params{"gens": 6, "f": 0.975})
+	if got := e.CacheKey(explicit); got != "EX" {
+		t.Fatalf("explicit-default key = %q, want EX", got)
+	}
+	r, _ := e.ResolveParams(Params{"f": 0.9, "gens": 8})
+	if got := e.CacheKey(r); got != "EX?gens=8&f=0.9" {
+		t.Fatalf("key = %q", got)
+	}
+	one, _ := e.ResolveParams(Params{"f": 0.9})
+	if got := e.CacheKey(one); got != "EX?f=0.9" {
+		t.Fatalf("key = %q", got)
+	}
+}
+
+func TestRunWithZeroParamExperiment(t *testing.T) {
+	e, _ := ByID("T2")
+	if len(e.Params) != 0 {
+		t.Fatalf("T2 should declare no parameters")
+	}
+	if _, _, err := e.RunWith(Params{"anything": 1}); err == nil {
+		t.Fatal("params on a zero-param experiment should error")
+	}
+	res, resolved, err := e.RunWith(nil)
+	if err != nil {
+		t.Fatalf("RunWith(nil): %v", err)
+	}
+	if resolved != nil {
+		t.Fatalf("resolved should be nil, got %v", resolved)
+	}
+	if res.Render() != e.Run().Render() {
+		t.Fatal("RunWith(nil) differs from Run()")
+	}
+}
+
+// Every parameterized experiment must render identically via Run() and via
+// RunWith at explicit defaults — the zero-param path is the default grid
+// point.
+func TestRunWithDefaultsMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every parameterized experiment twice")
+	}
+	for _, e := range Registry() {
+		if len(e.Params) == 0 {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, _, err := e.RunWith(e.Defaults())
+			if err != nil {
+				t.Fatalf("RunWith(defaults): %v", err)
+			}
+			if res.Render() != e.Run().Render() {
+				t.Fatal("RunWith(defaults) differs from Run()")
+			}
+		})
+	}
+}
+
+// At least the six representative experiments the sweep engine targets
+// must expose knobs.
+func TestParameterizedCoverage(t *testing.T) {
+	var n int
+	for _, e := range Registry() {
+		if len(e.Params) > 0 {
+			n++
+		}
+	}
+	if n < 6 {
+		t.Fatalf("only %d experiments declare parameters, want >= 6", n)
+	}
+}
+
+func TestSpecAndSchemaStrings(t *testing.T) {
+	e := specExperiment()
+	if got := e.Params[0].String(); got != "gens:int[1..12]=6" {
+		t.Fatalf("spec string = %q", got)
+	}
+	if got := e.SchemaString(); !strings.Contains(got, "f:float[0.5..0.9999]=0.975") {
+		t.Fatalf("schema string = %q", got)
+	}
+	if got := (Experiment{ID: "Z"}).SchemaString(); got != "(no parameters)" {
+		t.Fatalf("empty schema = %q", got)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p, err := ParseParams([]string{"gens=8", "f=0.9"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p["gens"] != 8 || p["f"] != 0.9 {
+		t.Fatalf("parsed %v", p)
+	}
+	for _, bad := range [][]string{
+		{"gens"}, {"=3"}, {"gens=abc"}, {"gens=1", "gens=2"},
+	} {
+		if _, err := ParseParams(bad); err == nil {
+			t.Errorf("ParseParams(%v): want error", bad)
+		}
+	}
+	if p, err := ParseParams(nil); err != nil || p != nil {
+		t.Fatalf("ParseParams(nil) = %v, %v", p, err)
+	}
+}

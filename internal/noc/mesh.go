@@ -52,10 +52,24 @@ func NewMesh3D(w, h, layers int) *Mesh {
 		panic(fmt.Sprintf("noc: %dx%d nodes not divisible into %d layers", w, h, layers))
 	}
 	m := NewMesh2D(w, h)
-	// Shrink the footprint: keep aspect ratio by scaling both dims.
+	// Shrink the footprint: keep aspect ratio by scaling both dims. The
+	// per-layer width must divide the per-layer node count exactly or the
+	// fold silently drops nodes, so snap to the divisor nearest the ideal
+	// scaled width (smaller divisor wins ties).
 	scale := math.Sqrt(float64(layers))
-	m.W = int(math.Max(1, math.Round(float64(w)/scale)))
-	m.H = (w * h) / (m.W * layers)
+	perLayer := (w * h) / layers
+	target := float64(w) / scale
+	bestW := 1
+	for d := 1; d <= perLayer; d++ {
+		if perLayer%d != 0 {
+			continue
+		}
+		if math.Abs(float64(d)-target) < math.Abs(float64(bestW)-target) {
+			bestW = d
+		}
+	}
+	m.W = bestW
+	m.H = perLayer / bestW
 	m.Layers = layers
 	return m
 }

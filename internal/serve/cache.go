@@ -3,7 +3,10 @@
 // thundering herds, a bounded worker pool, and HTTP handlers — the paper's
 // warehouse-scale serving concerns (memory/storage wall, tail
 // predictability, cross-layer co-design) applied to the toolkit itself.
-// cmd/arch21d exposes the engine over HTTP.
+// Parameterized requests (ServeWith) fold the resolved assignment into
+// the cache key, so every distinct design point memoizes and
+// deduplicates independently — the substrate the sweep package fans
+// grids out over. cmd/arch21d exposes the engine over HTTP.
 package serve
 
 import (

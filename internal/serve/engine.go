@@ -15,6 +15,10 @@ import (
 // internal failure.
 var ErrUnknownExperiment = errors.New("serve: unknown experiment")
 
+// ErrBadParams wraps parameter-resolution failures (unknown name, value
+// out of range) so servers can report them as client errors.
+var ErrBadParams = errors.New("serve: invalid parameters")
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Shards is the cache shard count (rounded up to a power of two;
@@ -31,9 +35,14 @@ type Config struct {
 	// SampleCap is the latency reservoir capacity per outcome class
 	// (default 4096).
 	SampleCap int
-	// Runner executes one experiment by ID. Defaults to the core
-	// registry; injectable for tests.
+	// Runner executes one experiment by ID at its default parameters.
+	// Defaults to the core registry; injectable for tests.
 	Runner func(id string) (core.Result, error)
+	// RunnerWith executes one experiment under a resolved parameter
+	// assignment. Defaults to the core registry's RunWith (or to Runner,
+	// ignoring params, when only Runner is injected); injectable for
+	// tests.
+	RunnerWith func(id string, p core.Params) (core.Result, error)
 }
 
 // Engine serves experiment results concurrently: cache first, then
@@ -43,7 +52,7 @@ type Engine struct {
 	cache *Cache
 	fg    flightGroup
 	pool  *Pool
-	run   func(id string) (core.Result, error)
+	run   func(id string, p core.Params) (core.Result, error)
 
 	requests   atomic.Int64
 	hits       atomic.Int64
@@ -61,6 +70,12 @@ type Engine struct {
 type Response struct {
 	// ID is the experiment ID served.
 	ID string
+	// Params is the resolved parameter assignment the result was
+	// computed under (nil for zero-param requests).
+	Params core.Params
+	// Key is the cache key the result is memoized under (the bare ID
+	// for default assignments).
+	Key string
 	// Result is the decoded experiment output.
 	Result core.Result
 	// CacheHit reports whether the result came straight from the cache.
@@ -72,13 +87,15 @@ type Response struct {
 	Latency time.Duration
 }
 
-// runRegistry is the default Runner: execute a registered experiment.
-func runRegistry(id string) (core.Result, error) {
+// runRegistry is the default RunnerWith: execute a registered experiment
+// under a resolved assignment (nil means defaults).
+func runRegistry(id string, p core.Params) (core.Result, error) {
 	e, ok := core.ByID(id)
 	if !ok {
 		return core.Result{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
 	}
-	return e.Run(), nil
+	res, _, err := e.RunWith(p)
+	return res, err
 }
 
 // NewEngine builds and starts an engine.
@@ -95,13 +112,19 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.SampleCap <= 0 {
 		cfg.SampleCap = 4096
 	}
-	if cfg.Runner == nil {
-		cfg.Runner = runRegistry
+	run := cfg.RunnerWith
+	if run == nil {
+		if cfg.Runner != nil {
+			runner := cfg.Runner
+			run = func(id string, _ core.Params) (core.Result, error) { return runner(id) }
+		} else {
+			run = runRegistry
+		}
 	}
 	return &Engine{
 		cache:   NewCache(cfg.Shards, cfg.TTL),
 		pool:    NewPool(cfg.Workers, cfg.Queue),
-		run:     cfg.Runner,
+		run:     run,
 		hitLat:  stats.NewLatencyRecorder(cfg.SampleCap, 1),
 		coldLat: stats.NewLatencyRecorder(cfg.SampleCap, 2),
 		allLat:  stats.NewLatencyRecorder(cfg.SampleCap, 3),
@@ -109,51 +132,77 @@ func NewEngine(cfg Config) *Engine {
 	}
 }
 
-// Serve returns the result for one experiment ID: from the cache when
-// memoized, otherwise executed once (no matter how many callers arrive
-// concurrently) on the bounded pool and memoized on the way out.
+// Serve returns the result for one experiment ID at its default
+// parameters: from the cache when memoized, otherwise executed once (no
+// matter how many callers arrive concurrently) on the bounded pool and
+// memoized on the way out.
 func (e *Engine) Serve(id string) (Response, error) {
+	return e.ServeWith(id, nil)
+}
+
+// ServeWith serves one experiment under a parameter assignment (nil or
+// empty means defaults). The assignment is resolved and validated against
+// the experiment's declared schema and folded into the cache key, so each
+// distinct grid point is memoized — and singleflight-deduplicated —
+// independently, while explicit-default assignments share the bare-ID
+// entry with Serve.
+func (e *Engine) ServeWith(id string, p core.Params) (Response, error) {
 	t0 := time.Now()
 	e.requests.Add(1)
 
-	if raw, ok := e.cache.Get(id); ok {
+	key := id
+	var resolved core.Params
+	if len(p) > 0 {
+		exp, ok := core.ByID(id)
+		if !ok {
+			return Response{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
+		}
+		var err error
+		if resolved, err = exp.ResolveParams(p); err != nil {
+			return Response{}, fmt.Errorf("%w: %v", ErrBadParams, err)
+		}
+		key = exp.CacheKey(resolved)
+	}
+
+	if raw, ok := e.cache.Get(key); ok {
 		res, err := core.DecodeResult(raw)
 		if err != nil {
 			// A corrupt entry is unservable; drop it and fall through
 			// to a fresh execution.
-			e.cache.Delete(id)
+			e.cache.Delete(key)
 		} else {
 			e.hits.Add(1)
 			lat := time.Since(t0)
 			e.observe(e.hitLat, lat)
-			return Response{ID: id, Result: res, CacheHit: true, Latency: lat}, nil
+			return Response{ID: id, Params: resolved, Key: key,
+				Result: res, CacheHit: true, Latency: lat}, nil
 		}
 	}
 
-	return e.serveMiss(id, t0)
+	return e.serveMiss(id, key, resolved, t0)
 }
 
-// serveMiss is Serve's path after a cache miss: singleflight-deduplicated
-// execution on the bounded pool, memoizing on the way out.
-func (e *Engine) serveMiss(id string, t0 time.Time) (Response, error) {
+// serveMiss is ServeWith's path after a cache miss: singleflight-
+// deduplicated execution on the bounded pool, memoizing on the way out.
+func (e *Engine) serveMiss(id, key string, p core.Params, t0 time.Time) (Response, error) {
 	var leaderHit bool
-	raw, err, shared := e.fg.Do(id, func() ([]byte, error) {
+	raw, err, shared := e.fg.Do(key, func() ([]byte, error) {
 		// A caller can become flight leader just after the previous
 		// leader memoized and left (it missed the cache before the Set
 		// landed). Re-check here so an already-memoized experiment is
 		// never re-executed.
-		if raw, ok := e.cache.Get(id); ok {
+		if raw, ok := e.cache.Get(key); ok {
 			leaderHit = true
 			return raw, nil
 		}
 		return e.pool.Run(func() ([]byte, error) {
 			e.executions.Add(1)
-			res, err := e.run(id)
+			res, err := e.run(id, p)
 			if err != nil {
 				return nil, err
 			}
 			enc := res.Encode()
-			e.cache.Set(id, enc)
+			e.cache.Set(key, enc)
 			return enc, nil
 		})
 	})
@@ -171,10 +220,12 @@ func (e *Engine) serveMiss(id string, t0 time.Time) (Response, error) {
 	if leaderHit && !shared {
 		e.hits.Add(1)
 		e.observe(e.hitLat, lat)
-		return Response{ID: id, Result: res, CacheHit: true, Latency: lat}, nil
+		return Response{ID: id, Params: p, Key: key, Result: res,
+			CacheHit: true, Latency: lat}, nil
 	}
 	e.observe(e.coldLat, lat)
-	return Response{ID: id, Result: res, Shared: shared, Latency: lat}, nil
+	return Response{ID: id, Params: p, Key: key, Result: res,
+		Shared: shared, Latency: lat}, nil
 }
 
 func (e *Engine) observe(class *stats.LatencyRecorder, lat time.Duration) {

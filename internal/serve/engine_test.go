@@ -199,7 +199,7 @@ func TestEngineLateLeaderServedFromCache(t *testing.T) {
 	// the miss path as a fresh flight leader (exactly what happens when
 	// the first leader's Set lands between Serve's cache probe and
 	// fg.Do).
-	r, err := e.serveMiss("X1", time.Now())
+	r, err := e.serveMiss("X1", "X1", nil, time.Now())
 	if err != nil {
 		t.Fatalf("serveMiss: %v", err)
 	}

@@ -11,30 +11,65 @@ import (
 // HTTP API:
 //
 //	GET /healthz              liveness probe
-//	GET /experiments          registered experiments with their claims
+//	GET /experiments          registered experiments: claims + param schemas
 //	GET /run/{id}             serve one experiment (JSON envelope)
+//	GET /run/{id}?param=n=v   override declared parameters (repeatable)
 //	GET /run/{id}?format=text rendered ASCII report
 //	GET /run/{id}?format=csv  table/figure as CSV
 //	GET /stats                engine metrics: counters, cache, p50/p99
 //
 // Every response is served through the engine, so hits, dedup, and
-// latency percentiles in /stats reflect real traffic.
+// latency percentiles in /stats reflect real traffic. The sweep package
+// adds POST /sweep (parameter-grid fan-out, NDJSON streaming) on top of
+// the same engine; cmd/arch21d mounts both.
+
+// ParamInfo is one declared parameter in an /experiments row.
+type ParamInfo struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Default float64 `json:"default"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Step    float64 `json:"step,omitempty"`
+	Doc     string  `json:"doc,omitempty"`
+}
 
 // experimentInfo is one /experiments row.
 type experimentInfo struct {
-	ID    string `json:"id"`
-	Title string `json:"title"`
-	Claim string `json:"claim"`
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Claim  string      `json:"claim"`
+	Params []ParamInfo `json:"params,omitempty"`
+}
+
+// ParamInfos converts a declared schema to its wire form.
+func ParamInfos(specs []core.ParamSpec) []ParamInfo {
+	var out []ParamInfo
+	for _, s := range specs {
+		out = append(out, ParamInfo{
+			Name:    s.Name,
+			Kind:    s.Kind.String(),
+			Default: s.Default,
+			Min:     s.Min,
+			Max:     s.Max,
+			Step:    s.Step,
+			Doc:     s.Doc,
+		})
+	}
+	return out
 }
 
 // runEnvelope is the /run/{id} JSON response.
 type runEnvelope struct {
-	ID        string   `json:"id"`
-	CacheHit  bool     `json:"cache_hit"`
-	Shared    bool     `json:"shared"`
-	LatencyMS float64  `json:"latency_ms"`
-	Findings  []string `json:"findings,omitempty"`
-	Report    string   `json:"report"`
+	ID        string      `json:"id"`
+	Params    core.Params `json:"params,omitempty"`
+	Key       string      `json:"key,omitempty"`
+	CacheHit  bool        `json:"cache_hit"`
+	Shared    bool        `json:"shared"`
+	LatencyMS float64     `json:"latency_ms"`
+	Headline  *float64    `json:"headline,omitempty"`
+	Findings  []string    `json:"findings,omitempty"`
+	Report    string      `json:"report"`
 }
 
 // Handler returns the engine's HTTP API.
@@ -46,17 +81,30 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
 		var list []experimentInfo
 		for _, ex := range core.Registry() {
-			list = append(list, experimentInfo{ID: ex.ID, Title: ex.Title, Claim: ex.PaperClaim})
+			list = append(list, experimentInfo{
+				ID:     ex.ID,
+				Title:  ex.Title,
+				Claim:  ex.PaperClaim,
+				Params: ParamInfos(ex.Params),
+			})
 		}
 		writeJSON(w, http.StatusOK, list)
 	})
 	mux.HandleFunc("GET /run/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		resp, err := e.Serve(id)
+		params, err := core.ParseParams(r.URL.Query()["param"])
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		resp, err := e.ServeWith(id, params)
 		if err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(err, ErrUnknownExperiment) {
+			switch {
+			case errors.Is(err, ErrUnknownExperiment):
 				status = http.StatusNotFound
+			case errors.Is(err, ErrBadParams):
+				status = http.StatusBadRequest
 			}
 			writeJSON(w, status, map[string]string{"error": err.Error()})
 			return
@@ -65,9 +113,12 @@ func (e *Engine) Handler() http.Handler {
 		case "", "json":
 			writeJSON(w, http.StatusOK, runEnvelope{
 				ID:        resp.ID,
+				Params:    resp.Params,
+				Key:       resp.Key,
 				CacheHit:  resp.CacheHit,
 				Shared:    resp.Shared,
 				LatencyMS: resp.Latency.Seconds() * 1e3,
+				Headline:  resp.Result.Headline,
 				Findings:  resp.Result.Findings,
 				Report:    resp.Result.Render(),
 			})

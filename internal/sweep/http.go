@@ -1,0 +1,135 @@
+package sweep
+
+// POST /sweep — the HTTP face of the sweep engine. The request names an
+// experiment and its axes; the response streams NDJSON: one line per
+// completed grid point (in grid order, flushed as each lands) and one
+// final summary line carrying the aggregated report. Repeat sweeps are
+// served from the engine's memoizing cache, so a hot sweep streams at
+// cache speed. cmd/arch21d mounts this next to the engine's own handlers.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Request is the POST /sweep body.
+type Request struct {
+	// ID is the experiment to sweep.
+	ID string `json:"id"`
+	// Params are axis assignments in sweep order, one "name=value",
+	// "name=a,b,c", or "name=lo:hi:step" string per axis.
+	Params []string `json:"params"`
+	// Parallelism optionally caps in-flight points.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// PointLine is one streamed NDJSON point line.
+type PointLine struct {
+	Point     int         `json:"point"`
+	Params    core.Params `json:"params"`
+	Key       string      `json:"key"`
+	CacheHit  bool        `json:"cache_hit"`
+	Shared    bool        `json:"shared"`
+	LatencyMS float64     `json:"latency_ms"`
+	Headline  *float64    `json:"headline,omitempty"`
+	Findings  []string    `json:"findings,omitempty"`
+}
+
+// SummaryLine is the final NDJSON line.
+type SummaryLine struct {
+	Summary struct {
+		ID        string   `json:"id"`
+		Points    int      `json:"points"`
+		CacheHits int      `json:"cache_hits"`
+		ElapsedMS float64  `json:"elapsed_ms"`
+		Findings  []string `json:"findings,omitempty"`
+		Report    string   `json:"report"`
+	} `json:"summary"`
+}
+
+// Handler returns the POST /sweep endpoint backed by the engine. Register
+// it as "POST /sweep".
+func Handler(eng *serve.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		sp, err := ParseSpec(req.ID, req.Params)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sp.Parallelism = req.Parallelism
+		// Validate up front so schema errors surface as a proper HTTP
+		// status; once streaming starts the status line is committed.
+		if _, err := sp.Validate(); err != nil {
+			status := http.StatusBadRequest
+			if _, ok := core.ByID(req.ID); !ok {
+				status = http.StatusNotFound
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		line := func(v any) error {
+			if err := enc.Encode(v); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		}
+
+		sum, err := Run(eng, sp, func(pt Point) error {
+			// A gone client must stop the sweep, not leave it grinding
+			// through the rest of the grid; Run aborts queued points on
+			// the first emit error.
+			if err := r.Context().Err(); err != nil {
+				return err
+			}
+			pl := PointLine{
+				Point:     pt.Index,
+				Params:    pt.Params,
+				Key:       pt.Key,
+				CacheHit:  pt.CacheHit,
+				Shared:    pt.Shared,
+				LatencyMS: pt.Latency.Seconds() * 1e3,
+				Findings:  pt.Result.Findings,
+			}
+			if h, ok := Headline(pt.Result); ok {
+				pl.Headline = &h
+			}
+			return line(pl)
+		})
+		if err != nil {
+			// The status line is already out; report the failure as a
+			// terminal NDJSON line instead.
+			_ = line(map[string]string{"error": err.Error()})
+			return
+		}
+		var sl SummaryLine
+		sl.Summary.ID = sum.ID
+		sl.Summary.Points = sum.Points
+		sl.Summary.CacheHits = sum.CacheHits
+		sl.Summary.ElapsedMS = sum.Elapsed.Seconds() * 1e3
+		sl.Summary.Findings = sum.Aggregate.Findings
+		sl.Summary.Report = sum.Aggregate.Render()
+		_ = line(sl)
+	})
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// sweepMux composes the endpoint the way cmd/arch21d mounts it.
+func sweepMux(execs *atomic.Int64) (*http.ServeMux, func()) {
+	eng := countingEngine(execs)
+	mux := http.NewServeMux()
+	mux.Handle("POST /sweep", Handler(eng))
+	return mux, eng.Close
+}
+
+func postSweep(t *testing.T, mux *http.ServeMux, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/sweep", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+// ndjsonLines splits a response into decoded JSON objects, one per line.
+func ndjsonLines(t *testing.T, body *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Acceptance criterion: POST /sweep streams one NDJSON line per grid
+// point plus a summary, and a repeat sweep streams the same points all
+// served from cache.
+func TestSweepEndpointStreamsNDJSONAndCaches(t *testing.T) {
+	var execs atomic.Int64
+	mux, closeEng := sweepMux(&execs)
+	defer closeEng()
+
+	const body = `{"id":"E7","params":["f=0.9,0.95","bces=64,128"]}`
+	w := postSweep(t, mux, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("content type = %q", ct)
+	}
+	lines := ndjsonLines(t, w.Body)
+	if len(lines) != 5 {
+		t.Fatalf("got %d NDJSON lines, want 4 points + 1 summary", len(lines))
+	}
+	for i, ln := range lines[:4] {
+		if int(ln["point"].(float64)) != i {
+			t.Fatalf("line %d out of order: %v", i, ln)
+		}
+		if ln["cache_hit"].(bool) {
+			t.Fatalf("cold sweep point %d claims a cache hit", i)
+		}
+	}
+	sum := lines[4]["summary"].(map[string]any)
+	if int(sum["points"].(float64)) != 4 || int(sum["cache_hits"].(float64)) != 0 {
+		t.Fatalf("summary = %v", sum)
+	}
+	if !strings.Contains(sum["report"].(string), "sweep E7: 4 points") {
+		t.Fatalf("summary report missing aggregate table: %v", sum["report"])
+	}
+	coldExecs := execs.Load()
+	if coldExecs != 4 {
+		t.Fatalf("executions = %d, want 4", coldExecs)
+	}
+
+	// Repeat sweep: identical points, all cache hits, no new executions.
+	w2 := postSweep(t, mux, body)
+	lines2 := ndjsonLines(t, w2.Body)
+	if len(lines2) != 5 {
+		t.Fatalf("repeat: got %d lines", len(lines2))
+	}
+	for i := range lines2[:4] {
+		if !lines2[i]["cache_hit"].(bool) {
+			t.Fatalf("repeat point %d not from cache: %v", i, lines2[i])
+		}
+		if lines2[i]["params"].(map[string]any)["f"] != lines[i]["params"].(map[string]any)["f"] {
+			t.Fatalf("repeat point %d differs: %v vs %v", i, lines2[i], lines[i])
+		}
+		if lines2[i]["findings"].(any) == nil {
+			t.Fatalf("repeat point %d lost findings", i)
+		}
+	}
+	sum2 := lines2[4]["summary"].(map[string]any)
+	if int(sum2["cache_hits"].(float64)) != 4 {
+		t.Fatalf("repeat summary = %v", sum2)
+	}
+	if sum2["report"] != sum["report"] {
+		t.Fatal("aggregate report differs between cold and cached sweeps")
+	}
+	if execs.Load() != coldExecs {
+		t.Fatalf("repeat sweep executed points: %d -> %d", coldExecs, execs.Load())
+	}
+}
+
+func TestSweepEndpointRejects(t *testing.T) {
+	var execs atomic.Int64
+	mux, closeEng := sweepMux(&execs)
+	defer closeEng()
+
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"id":"E99","params":["x=1"]}`, http.StatusNotFound},
+		{`{"id":"E7","params":[]}`, http.StatusBadRequest},
+		{`{"id":"E7","params":["nope=1"]}`, http.StatusBadRequest},
+		{`{"id":"E7","params":["f=0.1,0.2"]}`, http.StatusBadRequest},
+		{`{"id":"E7","params":["f=bad"]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		w := postSweep(t, mux, c.body)
+		if w.Code != c.code {
+			t.Errorf("POST %s: status %d, want %d (body %s)", c.body, w.Code, c.code, w.Body.String())
+		}
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("rejected sweeps executed %d points", execs.Load())
+	}
+}

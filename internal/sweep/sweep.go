@@ -1,0 +1,461 @@
+// Package sweep fans a parameter grid out over the serving engine: it
+// parses axis specifications ("f=0.9:0.99:0.03", "bces=64,256", "gens=8"),
+// expands their cross product in row-major order (first axis slowest),
+// runs every grid point through serve.Engine.ServeWith — so each point is
+// validated against the experiment's declared schema, memoized under a
+// params-folded cache key, deduplicated by singleflight, and bounded by
+// the engine's worker pool — and aggregates the per-point results into one
+// combined report.Table (plus a report.Figure for 1- and 2-axis sweeps).
+// Points stream to the caller in grid order as they complete, which is
+// what cmd/arch21's sweep subcommand prints and what the POST /sweep
+// NDJSON endpoint writes line by line. The whole pipeline is
+// deterministic: the same spec always yields the same grid, the same
+// per-point results, and the same aggregate, whether served cold or from
+// cache.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// errAborted marks grid points skipped because the sweep was already
+// doomed when they would have started.
+var errAborted = errors.New("sweep aborted")
+
+// MaxPoints bounds a single sweep's grid so a fat-fingered step cannot
+// queue an unbounded amount of work.
+const MaxPoints = 4096
+
+// defaultParallelism bounds in-flight ServeWith calls per sweep. The
+// engine's worker pool already bounds cold compute; this only caps how
+// many points can simultaneously occupy the pool's queue.
+const defaultParallelism = 8
+
+// Axis is one swept parameter: a name and the ordered values it takes.
+type Axis struct {
+	// Name is the experiment parameter the axis varies.
+	Name string
+	// Values are the axis points, in sweep order.
+	Values []float64
+}
+
+// Spec is a full sweep specification: the experiment and the axes whose
+// cross product forms the grid. Axis order is significant — the first
+// axis varies slowest.
+type Spec struct {
+	// ID is the experiment to sweep.
+	ID string
+	// Axes are the swept parameters.
+	Axes []Axis
+	// Parallelism caps concurrently in-flight points (default 8).
+	Parallelism int
+}
+
+// ParseAxis parses one axis assignment. Accepted value forms:
+//
+//	name=lo:hi:step   inclusive range (step > 0)
+//	name=a,b,c        explicit list
+//	name=v            single value (a one-point axis)
+func ParseAxis(s string) (Axis, error) {
+	name, val, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" || strings.TrimSpace(val) == "" {
+		return Axis{}, fmt.Errorf("sweep: bad axis %q (want name=value, name=a,b,c, or name=lo:hi:step)", s)
+	}
+	ax := Axis{Name: name}
+	switch {
+	case strings.Contains(val, ":"):
+		parts := strings.Split(val, ":")
+		if len(parts) != 3 {
+			return Axis{}, fmt.Errorf("sweep: bad range %q (want lo:hi:step)", val)
+		}
+		lo, err := core.ParseParamValue(parts[0])
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: bad range start in %q: %v", s, err)
+		}
+		hi, err := core.ParseParamValue(parts[1])
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: bad range end in %q: %v", s, err)
+		}
+		step, err := core.ParseParamValue(parts[2])
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: bad range step in %q: %v", s, err)
+		}
+		if step <= 0 {
+			return Axis{}, fmt.Errorf("sweep: step must be > 0 in %q", s)
+		}
+		if hi < lo {
+			return Axis{}, fmt.Errorf("sweep: empty range %q (hi < lo)", s)
+		}
+		// Bound the expansion here, not just at Validate: a fat-fingered
+		// step must fail before materializing the axis, or a single
+		// request could chew through unbounded memory.
+		if hi-lo > step*float64(MaxPoints) {
+			return Axis{}, fmt.Errorf("sweep: range %q expands past %d values", s, MaxPoints)
+		}
+		// Index-based stepping avoids accumulation error; the tolerance
+		// admits an endpoint that float arithmetic lands a few ulps past
+		// (clamped to hi so repeat sweeps key identically) without
+		// admitting a genuine extra step.
+		for i := 0; ; i++ {
+			v := lo + float64(i)*step
+			if v > hi+step*1e-9 {
+				break
+			}
+			if v > hi {
+				v = hi
+			}
+			ax.Values = append(ax.Values, v)
+		}
+	case strings.Contains(val, ","):
+		for _, part := range strings.Split(val, ",") {
+			v, err := core.ParseParamValue(part)
+			if err != nil {
+				return Axis{}, fmt.Errorf("sweep: bad list value in %q: %v", s, err)
+			}
+			ax.Values = append(ax.Values, v)
+		}
+	default:
+		v, err := core.ParseParamValue(val)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: bad value in %q: %v", s, err)
+		}
+		ax.Values = []float64{v}
+	}
+	return ax, nil
+}
+
+// ParseSpec builds a Spec from an experiment ID and axis assignments (one
+// "name=..." string per axis, in sweep order).
+func ParseSpec(id string, axes []string) (Spec, error) {
+	sp := Spec{ID: id}
+	for _, s := range axes {
+		ax, err := ParseAxis(s)
+		if err != nil {
+			return Spec{}, err
+		}
+		sp.Axes = append(sp.Axes, ax)
+	}
+	return sp, nil
+}
+
+// Validate checks the spec against the experiment's declared schema:
+// every axis must name a declared parameter exactly once, every value
+// must pass the parameter's range/kind/step check, and the grid must fit
+// under MaxPoints.
+func (sp Spec) Validate() (core.Experiment, error) {
+	e, ok := core.ByID(sp.ID)
+	if !ok {
+		return core.Experiment{}, fmt.Errorf("sweep: unknown experiment %q", sp.ID)
+	}
+	if len(sp.Axes) == 0 {
+		return core.Experiment{}, fmt.Errorf("sweep: %s: no axes (give at least one -param)", sp.ID)
+	}
+	seen := map[string]bool{}
+	points := 1
+	for _, ax := range sp.Axes {
+		spec, ok := e.Spec(ax.Name)
+		if !ok {
+			return core.Experiment{}, fmt.Errorf("sweep: experiment %s has no parameter %q (schema: %s)",
+				sp.ID, ax.Name, e.SchemaString())
+		}
+		if seen[ax.Name] {
+			return core.Experiment{}, fmt.Errorf("sweep: axis %s given twice", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return core.Experiment{}, fmt.Errorf("sweep: axis %s has no values", ax.Name)
+		}
+		for _, v := range ax.Values {
+			if err := spec.Check(v); err != nil {
+				return core.Experiment{}, fmt.Errorf("sweep: %v", err)
+			}
+		}
+		points *= len(ax.Values)
+		if points > MaxPoints {
+			return core.Experiment{}, fmt.Errorf("sweep: grid exceeds %d points", MaxPoints)
+		}
+	}
+	return e, nil
+}
+
+// Grid expands the cross product in row-major order (first axis slowest,
+// last axis fastest).
+func (sp Spec) Grid() []core.Params {
+	n := 1
+	for _, ax := range sp.Axes {
+		n *= len(ax.Values)
+	}
+	if len(sp.Axes) == 0 || n == 0 {
+		return nil
+	}
+	grid := make([]core.Params, n)
+	for i := range grid {
+		p := make(core.Params, len(sp.Axes))
+		rem := i
+		for a := len(sp.Axes) - 1; a >= 0; a-- {
+			ax := sp.Axes[a]
+			p[ax.Name] = ax.Values[rem%len(ax.Values)]
+			rem /= len(ax.Values)
+		}
+		grid[i] = p
+	}
+	return grid
+}
+
+// Point is one completed grid point, as streamed to the caller.
+type Point struct {
+	// Index is the point's position in row-major grid order.
+	Index int
+	// Params is the point's axis assignment (swept axes only).
+	Params core.Params
+	// Key is the engine cache key the point is memoized under.
+	Key string
+	// Result is the experiment output at this point.
+	Result core.Result
+	// CacheHit and Shared report how the engine satisfied the point.
+	CacheHit bool
+	Shared   bool
+	// Latency is the point's wall time inside the engine.
+	Latency time.Duration
+}
+
+// Summary is one completed sweep.
+type Summary struct {
+	// ID is the swept experiment.
+	ID string
+	// Axes are the swept parameters, in grid order.
+	Axes []Axis
+	// Points is the grid size.
+	Points int
+	// CacheHits counts points served straight from the memoizing cache.
+	CacheHits int
+	// Elapsed is the sweep's wall time.
+	Elapsed time.Duration
+	// Aggregate is the combined cross-point result: one table row per
+	// grid point (plus a figure for 1- and 2-axis sweeps).
+	Aggregate core.Result
+}
+
+// Run executes the sweep on the engine, streaming each completed point to
+// emit (in grid order) and returning the aggregate. Points run
+// concurrently — bounded by Spec.Parallelism and, for cold compute, by
+// the engine's worker pool — but emission is strictly ordered, so output
+// is deterministic. A nil emit just skips streaming. The first point
+// error aborts the sweep.
+func Run(eng *serve.Engine, sp Spec, emit func(Point) error) (Summary, error) {
+	exp, err := sp.Validate()
+	if err != nil {
+		return Summary{}, err
+	}
+	t0 := time.Now()
+	grid := sp.Grid()
+	par := sp.Parallelism
+	if par <= 0 {
+		par = defaultParallelism
+	}
+
+	type outcome struct {
+		resp serve.Response
+		err  error
+	}
+	results := make([]outcome, len(grid))
+	done := make([]chan struct{}, len(grid))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// aborted short-circuits not-yet-started points once the sweep is
+	// doomed (a point failed or the consumer went away), so an abandoned
+	// large sweep stops occupying the engine instead of grinding through
+	// thousands of results nobody will read. In-flight points (at most
+	// par) still drain.
+	var aborted atomic.Bool
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, p := range grid {
+		wg.Add(1)
+		go func(i int, p core.Params) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if aborted.Load() {
+				results[i] = outcome{err: errAborted}
+				close(done[i])
+				return
+			}
+			resp, err := eng.ServeWith(sp.ID, p)
+			results[i] = outcome{resp, err}
+			close(done[i])
+		}(i, p)
+	}
+	defer wg.Wait()
+
+	sum := Summary{ID: sp.ID, Axes: sp.Axes, Points: len(grid)}
+	points := make([]Point, 0, len(grid))
+	for i := range grid {
+		<-done[i]
+		out := results[i]
+		if out.err != nil {
+			aborted.Store(true)
+			return Summary{}, fmt.Errorf("sweep: %s point %d: %w", sp.ID, i, out.err)
+		}
+		pt := Point{
+			Index:    i,
+			Params:   grid[i],
+			Key:      out.resp.Key,
+			Result:   out.resp.Result,
+			CacheHit: out.resp.CacheHit,
+			Shared:   out.resp.Shared,
+			Latency:  out.resp.Latency,
+		}
+		if pt.CacheHit {
+			sum.CacheHits++
+		}
+		if emit != nil {
+			if err := emit(pt); err != nil {
+				aborted.Store(true)
+				return Summary{}, err
+			}
+		}
+		points = append(points, pt)
+	}
+	sum.Elapsed = time.Since(t0)
+	sum.Aggregate = aggregate(exp, sp, points)
+	return sum, nil
+}
+
+// firstNumber extracts the leading numeric value from a finding line —
+// the fallback "headline" metric when a result does not declare one.
+var firstNumber = regexp.MustCompile(`-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?`)
+
+// Headline returns the result's scalar summary metric: the explicitly
+// declared Result.Headline when the experiment set one, otherwise the
+// first number in the first finding (which can echo a parameter rather
+// than a measurement — parameterized experiments should declare).
+func Headline(r core.Result) (float64, bool) {
+	if r.Headline != nil {
+		return *r.Headline, true
+	}
+	if len(r.Findings) == 0 {
+		return 0, false
+	}
+	m := firstNumber.FindString(r.Findings[0])
+	if m == "" {
+		return 0, false
+	}
+	v, err := core.ParseParamValue(m)
+	return v, err == nil
+}
+
+// axisNames joins the spec's axis names.
+func axisNames(axes []Axis) string {
+	names := make([]string, len(axes))
+	for i, ax := range axes {
+		names[i] = ax.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// aggregate folds per-point results into one deterministic Result: a
+// table with one row per grid point (axis values, headline metric, first
+// finding) and — for 1- and 2-axis sweeps — a figure of the headline
+// metric over the last axis, one series per value of the leading axis.
+func aggregate(exp core.Experiment, sp Spec, points []Point) core.Result {
+	headers := make([]string, 0, len(sp.Axes)+2)
+	for _, ax := range sp.Axes {
+		headers = append(headers, ax.Name)
+	}
+	headers = append(headers, "headline", "first finding")
+	tbl := report.NewTable(
+		fmt.Sprintf("sweep %s: %d points over %s", sp.ID, len(points), axisNames(sp.Axes)),
+		headers...)
+
+	var minH, maxH float64
+	haveH := false
+	for _, pt := range points {
+		row := make([]string, 0, len(headers))
+		for _, ax := range sp.Axes {
+			row = append(row, core.FormatParamValue(pt.Params[ax.Name]))
+		}
+		h, ok := Headline(pt.Result)
+		if ok {
+			if !haveH || h < minH {
+				minH = h
+			}
+			if !haveH || h > maxH {
+				maxH = h
+			}
+			haveH = true
+			row = append(row, report.FormatFloat(h))
+		} else {
+			row = append(row, "")
+		}
+		first := ""
+		if len(pt.Result.Findings) > 0 {
+			first = pt.Result.Findings[0]
+		}
+		row = append(row, first)
+		tbl.AddRow(row...)
+	}
+
+	res := core.Result{Table: tbl}
+	if fig := aggregateFigure(sp, points); fig != nil {
+		res.Figure = fig
+	}
+	res.Findings = append(res.Findings,
+		fmt.Sprintf("%s (%s) swept over %s: %d points",
+			sp.ID, exp.Title, axisNames(sp.Axes), len(points)))
+	if haveH {
+		res.Findings = append(res.Findings,
+			fmt.Sprintf("headline metric spans [%s, %s] across the grid",
+				report.FormatFloat(minH), report.FormatFloat(maxH)))
+	}
+	return res
+}
+
+// aggregateFigure plots the headline metric for 1- and 2-axis sweeps:
+// x is the last axis; a 2-axis sweep gets one series per leading-axis
+// value. Wider grids and headline-less results yield no figure.
+func aggregateFigure(sp Spec, points []Point) *report.Figure {
+	if len(sp.Axes) < 1 || len(sp.Axes) > 2 {
+		return nil
+	}
+	xAxis := sp.Axes[len(sp.Axes)-1]
+	fig := report.NewFigure(
+		fmt.Sprintf("sweep %s: headline metric vs %s", sp.ID, xAxis.Name),
+		xAxis.Name, "headline")
+	series := map[string]*report.Series{}
+	any := false
+	for _, pt := range points {
+		h, ok := Headline(pt.Result)
+		if !ok {
+			continue
+		}
+		name := "headline"
+		if len(sp.Axes) == 2 {
+			lead := sp.Axes[0]
+			name = lead.Name + "=" + core.FormatParamValue(pt.Params[lead.Name])
+		}
+		s, ok := series[name]
+		if !ok {
+			s = fig.AddSeries(name)
+			series[name] = s
+		}
+		s.Add(pt.Params[xAxis.Name], h)
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return fig
+}
