@@ -94,11 +94,18 @@ func register(e Experiment) {
 		panic("core: experiment " + e.ID + " declares parameters but no RunP")
 	}
 	if e.Run == nil && e.RunP != nil {
-		runP := e.RunP
-		defaults := e.Defaults()
-		e.Run = func() Result { return runP(defaults) }
+		e.Run = e.defaultRun()
 	}
 	registry[e.ID] = e
+}
+
+// defaultRun synthesizes the zero-param entry point from RunP. Each call
+// builds a fresh defaults map — a RunP that mutated a shared map would
+// corrupt every later default-parameter run (and what the serve cache
+// memoizes).
+func (e Experiment) defaultRun() func() Result {
+	runP, defaults := e.RunP, e.Defaults
+	return func() Result { return runP(defaults()) }
 }
 
 // Registry returns all experiments sorted by ID (E1..E18 numerically, then

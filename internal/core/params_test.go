@@ -39,6 +39,27 @@ func TestResolveParamsDefaultsAndOverrides(t *testing.T) {
 	}
 }
 
+// The synthesized zero-param Run must hand RunP a fresh defaults map each
+// call: a RunP that mutates its assignment must not corrupt later
+// default-parameter runs (which the serve cache would then memoize).
+func TestDefaultRunBuildsFreshDefaultsPerCall(t *testing.T) {
+	e := Experiment{
+		ID:     "EX",
+		Params: []ParamSpec{{Name: "k", Kind: FloatParam, Default: 2, Min: 0, Max: 1000}},
+		RunP: func(p Params) Result {
+			v := p.Float("k")
+			p["k"] = v + 100
+			return Result{Findings: []string{FormatParamValue(v)}}
+		},
+	}
+	run := e.defaultRun()
+	for i := 0; i < 3; i++ {
+		if got := run().Findings[0]; got != "2" {
+			t.Fatalf("run %d saw k=%s, want the default 2 (shared defaults map leaked a mutation)", i, got)
+		}
+	}
+}
+
 func TestResolveParamsRejects(t *testing.T) {
 	e := specExperiment()
 	cases := map[string]Params{

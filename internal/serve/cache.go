@@ -11,6 +11,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"strings"
 	"sync"
 	"time"
 )
@@ -227,6 +228,25 @@ func (c *Cache) Delete(key string) bool {
 	_, ok := s.entries[key]
 	delete(s.entries, key)
 	return ok
+}
+
+// DeletePrefix removes every entry whose key starts with prefix and
+// returns how many were removed. It walks all shards, so it is an
+// administrative operation, not a hot-path one.
+func (c *Cache) DeletePrefix(prefix string) int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key := range s.entries {
+			if strings.HasPrefix(key, prefix) {
+				delete(s.entries, key)
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Clear drops every entry (counters are preserved).

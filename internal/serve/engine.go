@@ -41,7 +41,11 @@ type Config struct {
 	// RunnerWith executes one experiment under a resolved parameter
 	// assignment. Defaults to the core registry's RunWith (or to Runner,
 	// ignoring params, when only Runner is injected); injectable for
-	// tests.
+	// tests. Note that injecting a runner does not replace parameter
+	// resolution: ServeWith still resolves non-empty assignments against
+	// the core registry's schema for the ID, so a runner-only ID (one not
+	// registered in core) serves default (nil-params) requests fine but
+	// fails with ErrUnknownExperiment as soon as params are passed.
 	RunnerWith func(id string, p core.Params) (core.Result, error)
 }
 
@@ -275,9 +279,13 @@ func (e *Engine) Metrics() Metrics {
 // (the number singleflight and the cache exist to minimize).
 func (e *Engine) Executions() int64 { return e.executions.Load() }
 
-// Invalidate drops one memoized result. It reports whether one was
-// present.
-func (e *Engine) Invalidate(id string) bool { return e.cache.Delete(id) }
+// Invalidate drops an experiment's memoized results: the bare-ID entry
+// and every parameterized variant (keys "id?..."). It reports whether any
+// entry was present.
+func (e *Engine) Invalidate(id string) bool {
+	n := e.cache.DeletePrefix(id + "?")
+	return e.cache.Delete(id) || n > 0
+}
 
 // Reset drops every memoized result.
 func (e *Engine) Reset() { e.cache.Clear() }

@@ -262,6 +262,38 @@ func TestEngineInvalidateAndReset(t *testing.T) {
 	}
 }
 
+// Invalidate must drop an experiment's parameterized cache entries too —
+// ServeWith folds assignments into keys like "E7?bces=512", which a bare
+// Delete(id) would leave stale — without crossing experiment boundaries
+// (E1 must not invalidate E11).
+func TestEngineInvalidateCoversParameterizedEntries(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) {
+		return fakeResult(id), nil
+	})
+	defer e.Close()
+	if _, err := e.ServeWith("E7", core.Params{"bces": 512}); err != nil {
+		t.Fatal(err)
+	}
+	e.Serve("E7")
+	e.Serve("E11")
+	if !e.Invalidate("E7") {
+		t.Fatal("Invalidate found nothing")
+	}
+	if r, _ := e.ServeWith("E7", core.Params{"bces": 512}); r.CacheHit {
+		t.Fatal("parameterized E7 entry survived Invalidate")
+	}
+	if r, _ := e.Serve("E7"); r.CacheHit {
+		t.Fatal("bare E7 entry survived Invalidate")
+	}
+	if r, _ := e.Serve("E11"); !r.CacheHit {
+		t.Fatal("Invalidate(E7) must not touch other experiments")
+	}
+	e.Invalidate("E1")
+	if r, _ := e.Serve("E11"); !r.CacheHit {
+		t.Fatal("Invalidate(E1) crossed the experiment-ID boundary into E11")
+	}
+}
+
 // TestEngineServesRealRegistry smoke-tests the default runner against one
 // real (cheap) experiment from the core registry.
 func TestEngineServesRealRegistry(t *testing.T) {

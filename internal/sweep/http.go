@@ -9,6 +9,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 
 	"repro/internal/core"
@@ -54,9 +55,18 @@ type SummaryLine struct {
 // it as "POST /sweep".
 func Handler(eng *serve.Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A sweep request is a short ID plus a handful of axis strings;
+		// cap the body so oversized payloads fail here instead of
+		// feeding the grid expander.
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, status, "bad request body: "+err.Error())
 			return
 		}
 		sp, err := ParseSpec(req.ID, req.Params)

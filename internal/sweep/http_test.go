@@ -127,6 +127,12 @@ func TestSweepEndpointRejects(t *testing.T) {
 		{`{"id":"E7","params":["nope=1"]}`, http.StatusBadRequest},
 		{`{"id":"E7","params":["f=0.1,0.2"]}`, http.StatusBadRequest},
 		{`{"id":"E7","params":["f=bad"]}`, http.StatusBadRequest},
+		// Non-finite range bounds used to hang the handler goroutine in an
+		// unbounded ParseAxis expansion; they must be a fast 400.
+		{`{"id":"E7","params":["f=NaN:1:0.1"]}`, http.StatusBadRequest},
+		{`{"id":"E7","params":["f=0:Inf:0.1"]}`, http.StatusBadRequest},
+		// An over-limit body is 413, not a generic 400.
+		{`{"id":"E7","params":["` + strings.Repeat("f", 1<<20) + `=1"]}`, http.StatusRequestEntityTooLarge},
 	}
 	for _, c := range cases {
 		w := postSweep(t, mux, c.body)

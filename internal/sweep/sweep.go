@@ -17,6 +17,7 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"math"
 	"regexp"
 	"strings"
 	"sync"
@@ -40,6 +41,11 @@ const MaxPoints = 4096
 // engine's worker pool already bounds cold compute; this only caps how
 // many points can simultaneously occupy the pool's queue.
 const defaultParallelism = 8
+
+// maxParallelism clamps Spec.Parallelism, which reaches Run straight from
+// the POST /sweep body: one worker goroutine is spawned per unit, so an
+// unclamped value would be a remote goroutine bomb.
+const maxParallelism = 64
 
 // Axis is one swept parameter: a name and the ordered values it takes.
 type Axis struct {
@@ -91,6 +97,14 @@ func ParseAxis(s string) (Axis, error) {
 		if err != nil {
 			return Axis{}, fmt.Errorf("sweep: bad range step in %q: %v", s, err)
 		}
+		// NaN bounds make every comparison below false, which would turn
+		// the expansion loop into an unbounded append; ParseFloat accepts
+		// "NaN"/"Inf", so reject non-finite values before expanding.
+		for _, v := range [...]float64{lo, hi, step} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Axis{}, fmt.Errorf("sweep: range bounds must be finite in %q", s)
+			}
+		}
 		if step <= 0 {
 			return Axis{}, fmt.Errorf("sweep: step must be > 0 in %q", s)
 		}
@@ -106,8 +120,10 @@ func ParseAxis(s string) (Axis, error) {
 		// Index-based stepping avoids accumulation error; the tolerance
 		// admits an endpoint that float arithmetic lands a few ulps past
 		// (clamped to hi so repeat sweeps key identically) without
-		// admitting a genuine extra step.
-		for i := 0; ; i++ {
+		// admitting a genuine extra step. The i <= MaxPoints bound is a
+		// backstop: the range guard above should already keep expansion
+		// under it.
+		for i := 0; i <= MaxPoints; i++ {
 			v := lo + float64(i)*step
 			if v > hi+step*1e-9 {
 				break
@@ -139,10 +155,20 @@ func ParseAxis(s string) (Axis, error) {
 // "name=..." string per axis, in sweep order).
 func ParseSpec(id string, axes []string) (Spec, error) {
 	sp := Spec{ID: id}
+	points := 1
 	for _, s := range axes {
 		ax, err := ParseAxis(s)
 		if err != nil {
 			return Spec{}, err
+		}
+		// Enforce the grid cap incrementally, before parsing the next
+		// axis: each range axis can materialize up to MaxPoints values
+		// from a ~15-byte spec (a >2000x request-to-memory
+		// amplification), so waiting for Validate would let a small
+		// request body allocate per-axis maxima across many axes first.
+		points *= len(ax.Values)
+		if points > MaxPoints {
+			return Spec{}, fmt.Errorf("sweep: grid exceeds %d points", MaxPoints)
 		}
 		sp.Axes = append(sp.Axes, ax)
 	}
@@ -264,6 +290,12 @@ func Run(eng *serve.Engine, sp Spec, emit func(Point) error) (Summary, error) {
 	if par <= 0 {
 		par = defaultParallelism
 	}
+	if par > maxParallelism {
+		par = maxParallelism
+	}
+	if par > len(grid) {
+		par = len(grid)
+	}
 
 	type outcome struct {
 		resp serve.Response
@@ -278,26 +310,34 @@ func Run(eng *serve.Engine, sp Spec, emit func(Point) error) (Summary, error) {
 	// doomed (a point failed or the consumer went away), so an abandoned
 	// large sweep stops occupying the engine instead of grinding through
 	// thousands of results nobody will read. In-flight points (at most
-	// par) still drain.
+	// par) still drain. par fixed workers pull indices off a channel —
+	// not one goroutine per point, which would stack up O(grid)
+	// goroutines per request just to block on a semaphore.
 	var aborted atomic.Bool
-	sem := make(chan struct{}, par)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i, p := range grid {
+	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func(i int, p core.Params) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if aborted.Load() {
-				results[i] = outcome{err: errAborted}
+			for i := range idx {
+				if aborted.Load() {
+					results[i] = outcome{err: errAborted}
+					close(done[i])
+					continue
+				}
+				resp, err := eng.ServeWith(sp.ID, grid[i])
+				results[i] = outcome{resp, err}
 				close(done[i])
-				return
 			}
-			resp, err := eng.ServeWith(sp.ID, p)
-			results[i] = outcome{resp, err}
-			close(done[i])
-		}(i, p)
+		}()
 	}
+	go func() {
+		defer close(idx)
+		for i := range grid {
+			idx <- i
+		}
+	}()
 	defer wg.Wait()
 
 	sum := Summary{ID: sp.ID, Axes: sp.Axes, Points: len(grid)}

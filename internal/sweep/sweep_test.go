@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -93,6 +94,47 @@ func TestParseAxisBoundsRangeExpansion(t *testing.T) {
 	}
 	if len(ax.Values) != MaxPoints {
 		t.Fatalf("got %d values, want %d", len(ax.Values), MaxPoints)
+	}
+}
+
+// The grid cap must be enforced while axes parse, not after: each range
+// axis can materialize MaxPoints values from a ~15-byte spec, so a body
+// full of maximal axes would otherwise amplify into per-axis maxima
+// across every axis before Validate ever saw the grid.
+func TestParseSpecBoundsCrossAxisExpansion(t *testing.T) {
+	axes := make([]string, 64)
+	for i := range axes {
+		axes[i] = fmt.Sprintf("x%d=1:%d:1", i, MaxPoints)
+	}
+	_, err := ParseSpec("E7", axes)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want grid-cap error, got %v", err)
+	}
+}
+
+// ParseFloat accepts "NaN" and "Inf"; with a NaN bound every range guard
+// compares false, which used to turn the expansion loop into an unbounded
+// append (remotely triggerable via POST /sweep). Non-finite bounds must be
+// rejected up front, in bounded time.
+func TestParseAxisRejectsNonFiniteRange(t *testing.T) {
+	for _, bad := range []string{
+		"f=NaN:1:0.1", "f=0:NaN:0.1", "f=0:1:NaN",
+		"f=Inf:1:0.1", "f=0:Inf:0.1", "f=0:1:Inf",
+		"f=-Inf:1:0.1", "f=nan:nan:nan",
+	} {
+		done := make(chan error, 1)
+		go func() {
+			_, err := ParseAxis(bad)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("ParseAxis(%q): want error", bad)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("ParseAxis(%q) did not return (unbounded expansion)", bad)
+		}
 	}
 }
 
@@ -301,6 +343,32 @@ func TestSweepAbortSkipsQueuedPoints(t *testing.T) {
 	}
 	if got := execs.Load(); got >= 12 {
 		t.Fatalf("aborted sweep still executed all %d points", got)
+	}
+}
+
+// Parallelism reaches Run straight from the POST /sweep body and spawns
+// one worker goroutine per unit, so it must be clamped — an absurd value
+// must neither fail nor materialize absurd concurrency.
+func TestSweepClampsParallelism(t *testing.T) {
+	var execs atomic.Int64
+	eng := countingEngine(&execs)
+	defer eng.Close()
+
+	sp, err := ParseSpec("E1", []string{"gens=1,2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Parallelism = 1 << 30
+	before := runtime.NumGoroutine()
+	sum, err := Run(eng, sp, nil)
+	if err != nil {
+		t.Fatalf("Run with huge Parallelism: %v", err)
+	}
+	if sum.Points != 2 {
+		t.Fatalf("points = %d, want 2", sum.Points)
+	}
+	if after := runtime.NumGoroutine(); after > before+2*maxParallelism {
+		t.Fatalf("goroutines grew %d -> %d; Parallelism not clamped", before, after)
 	}
 }
 
