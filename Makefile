@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep clean
+.PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep \
+	loadtest bench-baseline bench-check cover lint clean
 
 all: check
 
@@ -36,6 +37,34 @@ bench-serve:
 
 bench-sweep:
 	$(GO) test -run xxx -bench 'BenchmarkSweep' -benchmem .
+
+# loadtest runs one load scenario against the in-process engine and
+# prints the measured report (SCENARIO/DURATION overridable).
+SCENARIO ?= warm-hammer
+DURATION ?= 5s
+loadtest:
+	$(GO) run ./cmd/arch21 loadtest -scenario $(SCENARIO) -duration $(DURATION)
+
+# bench-baseline refreshes the committed perf baseline CI's bench-smoke
+# job gates against (-maxprocs 1 matches the CI measurement, so the
+# throughput gate engages across machines). Run it on an idle machine,
+# eyeball the diff, and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer -duration 2s -maxprocs 1 -json BENCH_baseline.json
+
+# bench-check mirrors CI's bench-smoke gate locally.
+bench-check:
+	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer -duration 2s -maxprocs 1 -json /tmp/bench.json
+	$(GO) run ./cmd/arch21 benchcmp -tolerance 0.25 BENCH_baseline.json /tmp/bench.json
+
+# cover prints total statement coverage (CI enforces the floor).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# lint runs the pinned staticcheck CI uses (downloads on first run).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 clean:
 	$(GO) clean ./...

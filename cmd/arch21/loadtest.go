@@ -1,0 +1,176 @@
+package main
+
+// arch21 loadtest / benchcmp: the CLI face of internal/load. loadtest
+// runs one catalog scenario against the in-process engine (or a live
+// arch21d via -http) and emits the versioned BENCH JSON report; benchcmp
+// diffs two report files with load.Compare and exits nonzero on a gated
+// regression — the check CI's bench-smoke job runs against the committed
+// BENCH_baseline.json.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+func cmdLoadtest(args []string) {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "catalog scenario to run (see -list)")
+	list := fs.Bool("list", false, "list catalog scenarios and exit")
+	duration := fs.Duration("duration", 0, "measured window (default 5s)")
+	clients := fs.Int("clients", 0, "closed-loop concurrency (default: scenario)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate req/s (default: scenario)")
+	httpAddr := fs.String("http", "", "load a live arch21d at this address instead of the in-process engine")
+	jsonOut := fs.String("json", "", "write the BENCH report JSON to this file")
+	seed := fs.Uint64("seed", 0, "override the scenario seed")
+	workers := fs.Int("workers", 4, "in-process engine worker-pool size")
+	maxprocs := fs.Int("maxprocs", 0, "pin GOMAXPROCS for the run (0 = leave alone; CI pins 1 so baselines compare across machines)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr,
+			"usage: arch21 loadtest -scenario <name> [-duration 5s] [-clients N] [-rate R] [-http addr] [-json out.json]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	if *list {
+		for _, sc := range load.Scenarios() {
+			fmt.Printf("%-12s %s-loop, %d variants  %s\n", sc.Name, sc.Mode, len(sc.Variants), sc.Doc)
+		}
+		return
+	}
+	if *scenario == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	sc, ok := load.ScenarioByName(*scenario)
+	if !ok {
+		fatalf("unknown scenario %q (try 'arch21 loadtest -list')", *scenario)
+	}
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	var tgt load.Target
+	if *httpAddr != "" {
+		tgt = load.NewHTTPTarget(*httpAddr)
+	} else {
+		eng := serve.NewEngine(serve.Config{Workers: *workers})
+		defer eng.Close()
+		tgt = load.NewEngineTarget(eng)
+	}
+
+	rep, err := load.Run(tgt, sc, load.Options{
+		Duration: *duration,
+		Clients:  *clients,
+		Rate:     *rate,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.Git = gitDescribe()
+	if err := rep.Validate(); err != nil {
+		fatalf("measured report is not schema-valid: %v", err)
+	}
+	if sc.Reset && !rep.Config.Reset {
+		fmt.Fprintf(os.Stderr,
+			"arch21: note: scenario %s wants a cold cache but the %s target cannot reset — measuring as-is (report records reset=false)\n",
+			sc.Name, rep.Config.Target)
+	}
+
+	m := rep.Metrics
+	fmt.Printf("scenario %s (%s loop, target %s): %d requests in %.2fs\n",
+		rep.Scenario, rep.Config.Mode, rep.Config.Target, m.Requests, m.DurationSeconds)
+	fmt.Printf("  throughput  %.1f req/s   errors %d (%.2f%%)\n",
+		m.ThroughputRPS, m.Errors, m.ErrorRate*100)
+	fmt.Printf("  latency     p50 %s  p95 %s  p99 %s  p999 %s  max %s\n",
+		fmtLatency(m.Latency.P50), fmtLatency(m.Latency.P95),
+		fmtLatency(m.Latency.P99), fmtLatency(m.Latency.P999), fmtLatency(m.Latency.Max))
+	fmt.Printf("  cache       hit ratio %.3f  dedup ratio %.3f\n",
+		m.CacheHitRatio, m.DedupRatio)
+	fmt.Printf("  calibration %.3g hash-bytes/s\n", rep.CalibrationBPS)
+
+	if *jsonOut != "" {
+		if err := load.WriteFile(*jsonOut, rep); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+func cmdBenchcmp(args []string) {
+	fs := flag.NewFlagSet("benchcmp", flag.ExitOnError)
+	tolerance := fs.Float64("tolerance", 0.25, "fractional regression tolerance on gated metrics")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: arch21 benchcmp [-tolerance 0.25] old.json new.json")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	old, err := load.ReadReports(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := load.ReadReports(fs.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cmp, err := load.Compare(old, cur, *tolerance)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range cmp.Deltas {
+		gate := "info "
+		if d.Gated {
+			gate = "gated"
+		}
+		status := "ok"
+		if d.Regression {
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-12s %-16s %-5s old=%-12.6g new=%-12.6g %+6.1f%%  %s\n",
+			d.Scenario, d.Metric, gate, d.Old, d.New, d.Change*100, status)
+		if d.Note != "" {
+			fmt.Printf("             %s\n", d.Note)
+		}
+	}
+	if cmp.Regressed() {
+		fmt.Fprintf(os.Stderr, "arch21: benchcmp: %d gated metric(s) regressed past %.0f%% tolerance\n",
+			len(cmp.Regressions()), *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("no gated regressions (tolerance %.0f%%)\n", *tolerance*100)
+}
+
+// fmtLatency renders a latency in seconds human-readably.
+func fmtLatency(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// gitDescribe stamps reports with the working tree's `git describe
+// --always --dirty` (empty when git or the repo is unavailable).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -11,11 +11,16 @@
 //	arch21 run all                             # run every experiment
 //	arch21 sweep -id E7 -param f=0.9:0.99:0.03 # sweep a parameter grid
 //	arch21 sweep -id E7 -param f=0.9,0.99 -param bces=64,256 -v
+//	arch21 loadtest -scenario warm-hammer -duration 2s -json bench.json
+//	arch21 benchcmp -tolerance 0.25 BENCH_baseline.json bench.json
 //
 // Sweeps fan the grid out over the same memoizing engine arch21d serves
 // from: every unique grid point executes once, repeats come from cache,
 // and the output is a combined table (plus a figure for 1- and 2-axis
-// sweeps).
+// sweeps). loadtest replays catalog load scenarios against that engine
+// (or a live arch21d) and emits the BENCH JSON perf artifact; benchcmp
+// gates a new artifact against a baseline (what CI's bench-smoke job
+// does).
 package main
 
 import (
@@ -43,6 +48,10 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "loadtest":
+		cmdLoadtest(os.Args[2:])
+	case "benchcmp":
+		cmdBenchcmp(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -218,5 +227,7 @@ func usage() {
   arch21 list
   arch21 params <id>
   arch21 run <id|all> [-param name=value ...] [-csv]
-  arch21 sweep -id <id> -param name=lo:hi:step [-param ...] [-csv] [-v]`)
+  arch21 sweep -id <id> -param name=lo:hi:step [-param ...] [-csv] [-v]
+  arch21 loadtest -scenario <name> [-duration 5s] [-clients N] [-rate R] [-http addr] [-json out.json]
+  arch21 benchcmp [-tolerance 0.25] old.json new.json`)
 }

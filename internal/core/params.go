@@ -289,3 +289,19 @@ func (p Params) SortedNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// Assignments renders the assignment as sorted "name=value" strings — the
+// form ParseParams accepts and the HTTP API's repeated ?param= query takes
+// — so load generators and clients can reconstruct a request for any
+// Params deterministically. Nil and empty assignments yield nil.
+func (p Params) Assignments() []string {
+	if len(p) == 0 {
+		return nil
+	}
+	names := p.SortedNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = n + "=" + FormatParamValue(p[n])
+	}
+	return out
+}

@@ -193,3 +193,30 @@ func TestParseParams(t *testing.T) {
 		t.Fatalf("ParseParams(nil) = %v, %v", p, err)
 	}
 }
+
+func TestParamsAssignmentsRoundTrip(t *testing.T) {
+	p := Params{"bces": 256, "f": 0.975}
+	got := p.Assignments()
+	want := []string{"bces=256", "f=0.975"}
+	if len(got) != len(want) {
+		t.Fatalf("Assignments = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Assignments = %v, want %v", got, want)
+		}
+	}
+	back, err := ParseParams(got)
+	if err != nil {
+		t.Fatalf("ParseParams(Assignments): %v", err)
+	}
+	if len(back) != len(p) || back["f"] != p["f"] || back["bces"] != p["bces"] {
+		t.Fatalf("round trip mismatch: %v vs %v", back, p)
+	}
+	if Params(nil).Assignments() != nil {
+		t.Fatal("nil params should render nil")
+	}
+	if (Params{}).Assignments() != nil {
+		t.Fatal("empty params should render nil")
+	}
+}

@@ -1,0 +1,159 @@
+package load
+
+import (
+	"fmt"
+)
+
+// latencyGateFloor (seconds) keeps the latency gate honest: when both
+// sides of a p99 delta are sub-millisecond, the absolute difference is
+// scheduler noise on shared CI runners, so the delta is reported but not
+// gated. A regression that pushes p99 past the floor is gated normally.
+const latencyGateFloor = 1e-3
+
+// errorRateSlack is the absolute error-rate increase tolerated before the
+// error_rate delta counts as a regression (fractional tolerance is
+// meaningless when the baseline rate is 0).
+const errorRateSlack = 0.01
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	// Scenario and Metric identify the comparison.
+	Scenario string `json:"scenario"`
+	Metric   string `json:"metric"`
+	// Old and New are the metric values (normalized for
+	// "throughput_norm").
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Change is the signed fractional change from Old (0 when Old is 0).
+	Change float64 `json:"change"`
+	// Gated reports whether this metric can fail the comparison;
+	// Regression whether it did.
+	Gated      bool `json:"gated"`
+	Regression bool `json:"regression"`
+	// Note explains an ungated delta that would normally gate (e.g. a
+	// core-count mismatch between the two machines).
+	Note string `json:"note,omitempty"`
+}
+
+// Comparison is Compare's structured outcome: every metric delta, gated
+// or informational, in scenario order.
+type Comparison struct {
+	// Tolerance is the fractional regression tolerance applied.
+	Tolerance float64 `json:"tolerance"`
+	// Deltas holds every compared metric.
+	Deltas []Delta `json:"deltas"`
+}
+
+// Regressions returns the deltas that failed their gate.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Regressed reports whether any gated metric regressed past tolerance.
+func (c Comparison) Regressed() bool { return len(c.Regressions()) > 0 }
+
+// change returns the signed fractional change from old (0 when old is 0,
+// keeping the result JSON-encodable).
+func change(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// Compare diffs new reports against old baselines scenario by scenario
+// and returns structured deltas — the regression check CI's bench-smoke
+// job runs. Gated metrics: throughput (normalized by each machine's
+// calibration figure when both reports carry one) must not drop by more
+// than tolerance; p99 must not rise by more than tolerance once past
+// latencyGateFloor; error rate must not rise by more than errorRateSlack
+// absolute. p50 and cache hit ratio are reported as informational deltas.
+// Every old scenario must appear in new (a vanished scenario is an
+// error), and both sides must carry the current schema version.
+func Compare(old, new []Report, tolerance float64) (Comparison, error) {
+	if tolerance <= 0 || tolerance >= 1 {
+		return Comparison{}, fmt.Errorf("load: tolerance must be in (0, 1), got %v", tolerance)
+	}
+	if len(old) == 0 {
+		return Comparison{}, fmt.Errorf("load: no baseline reports to compare against")
+	}
+	byScenario := make(map[string]Report, len(new))
+	for _, r := range new {
+		byScenario[r.Scenario] = r
+	}
+	cmp := Comparison{Tolerance: tolerance}
+	for _, o := range old {
+		n, ok := byScenario[o.Scenario]
+		if !ok {
+			return Comparison{}, fmt.Errorf("load: scenario %q missing from new reports", o.Scenario)
+		}
+		if o.Schema != SchemaVersion || n.Schema != SchemaVersion {
+			return Comparison{}, fmt.Errorf("load: %s: schema version mismatch (old %d, new %d, want %d)",
+				o.Scenario, o.Schema, n.Schema, SchemaVersion)
+		}
+
+		// Throughput: normalized to each machine's calibration when both
+		// sides carry one, so a slower CI runner is not a regression.
+		// Calibration cancels per-core speed but not contention profile,
+		// which shifts with core count — a scenario's scaling with cores
+		// is nothing like the hash loop's — so the gate only engages
+		// between reports measured at equal core counts (CI pins
+		// GOMAXPROCS for exactly this reason).
+		tMetric := "throughput_rps"
+		oT, nT := o.Metrics.ThroughputRPS, n.Metrics.ThroughputRPS
+		if o.CalibrationBPS > 0 && n.CalibrationBPS > 0 {
+			tMetric = "throughput_norm"
+			oT /= o.CalibrationBPS
+			nT /= n.CalibrationBPS
+		}
+		tDelta := Delta{
+			Scenario: o.Scenario, Metric: tMetric,
+			Old: oT, New: nT, Change: change(oT, nT),
+		}
+		if o.Config.Cores == n.Config.Cores && o.Config.Cores > 0 {
+			tDelta.Gated = true
+			tDelta.Regression = nT < oT*(1-tolerance)
+		} else {
+			tDelta.Note = fmt.Sprintf(
+				"not gated: core counts differ (old %d, new %d) — remeasure the baseline on comparable hardware",
+				o.Config.Cores, n.Config.Cores)
+		}
+		cmp.Deltas = append(cmp.Deltas, tDelta)
+
+		oP99, nP99 := o.Metrics.Latency.P99, n.Metrics.Latency.P99
+		p99Gated := oP99 >= latencyGateFloor || nP99 >= latencyGateFloor
+		cmp.Deltas = append(cmp.Deltas, Delta{
+			Scenario: o.Scenario, Metric: "p99",
+			Old: oP99, New: nP99, Change: change(oP99, nP99),
+			Gated:      p99Gated,
+			Regression: p99Gated && nP99 > oP99*(1+tolerance),
+		})
+
+		cmp.Deltas = append(cmp.Deltas, Delta{
+			Scenario: o.Scenario, Metric: "p50",
+			Old: o.Metrics.Latency.P50, New: n.Metrics.Latency.P50,
+			Change: change(o.Metrics.Latency.P50, n.Metrics.Latency.P50),
+		})
+
+		oE, nE := o.Metrics.ErrorRate, n.Metrics.ErrorRate
+		cmp.Deltas = append(cmp.Deltas, Delta{
+			Scenario: o.Scenario, Metric: "error_rate",
+			Old: oE, New: nE, Change: change(oE, nE),
+			Gated:      true,
+			Regression: nE > oE+errorRateSlack,
+		})
+
+		cmp.Deltas = append(cmp.Deltas, Delta{
+			Scenario: o.Scenario, Metric: "cache_hit_ratio",
+			Old: o.Metrics.CacheHitRatio, New: n.Metrics.CacheHitRatio,
+			Change: change(o.Metrics.CacheHitRatio, n.Metrics.CacheHitRatio),
+		})
+	}
+	return cmp, nil
+}

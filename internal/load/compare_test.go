@@ -1,0 +1,209 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// cmpReport builds a baseline-shaped report with the given throughput,
+// p99, error rate, and calibration.
+func cmpReport(scenario string, rps, p99, errRate, cal float64) Report {
+	r := sampleReport(scenario, rps, p99)
+	r.Metrics.ErrorRate = errRate
+	r.CalibrationBPS = cal
+	return r
+}
+
+func TestCompareTable(t *testing.T) {
+	const tol = 0.25
+	cases := []struct {
+		name       string
+		old, new   []Report
+		wantErr    string // substring of the expected error ("" = no error)
+		regressed  bool
+		regression string // metric expected among regressions
+	}{
+		{
+			name:      "improvement passes",
+			old:       []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new:       []Report{cmpReport("warm-hammer", 1400, 0.0015, 0, 1e9)},
+			regressed: false,
+		},
+		{
+			name:      "regression exactly at tolerance passes",
+			old:       []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new:       []Report{cmpReport("warm-hammer", 750, 0.002, 0, 1e9)},
+			regressed: false,
+		},
+		{
+			name:       "regression over tolerance fails",
+			old:        []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new:        []Report{cmpReport("warm-hammer", 700, 0.002, 0, 1e9)},
+			regressed:  true,
+			regression: "throughput_norm",
+		},
+		{
+			name:       "p99 blowup past floor fails",
+			old:        []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new:        []Report{cmpReport("warm-hammer", 1000, 0.02, 0, 1e9)},
+			regressed:  true,
+			regression: "p99",
+		},
+		{
+			name:      "sub-millisecond p99 jitter is not gated",
+			old:       []Report{cmpReport("warm-hammer", 1000, 0.00002, 0, 1e9)},
+			new:       []Report{cmpReport("warm-hammer", 1000, 0.00009, 0, 1e9)},
+			regressed: false,
+		},
+		{
+			name:       "error rate spike fails",
+			old:        []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new:        []Report{cmpReport("warm-hammer", 1000, 0.002, 0.2, 1e9)},
+			regressed:  true,
+			regression: "error_rate",
+		},
+		{
+			name: "calibration normalizes across machines",
+			// Half the raw throughput on a machine half as fast: no
+			// regression once normalized.
+			old:       []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 2e9)},
+			new:       []Report{cmpReport("warm-hammer", 500, 0.002, 0, 1e9)},
+			regressed: false,
+		},
+		{
+			name: "core-count mismatch reports throughput ungated",
+			// A 16-core workstation baseline vs a 4-core runner: the
+			// contention profiles are incomparable, so the throughput
+			// delta informs but cannot fail the gate.
+			old: func() []Report {
+				r := cmpReport("warm-hammer", 4000, 0.002, 0, 4e9)
+				r.Config.Cores = 16
+				return []Report{r}
+			}(),
+			new: func() []Report {
+				r := cmpReport("warm-hammer", 500, 0.002, 0, 1e9)
+				r.Config.Cores = 4
+				return []Report{r}
+			}(),
+			regressed: false,
+		},
+		{
+			name:    "missing scenario errors",
+			old:     []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new:     []Report{cmpReport("herd", 1000, 0.002, 0, 1e9)},
+			wantErr: "missing",
+		},
+		{
+			name: "schema version mismatch errors",
+			old:  []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			new: func() []Report {
+				r := cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)
+				r.Schema = SchemaVersion + 1
+				return []Report{r}
+			}(),
+			wantErr: "schema version mismatch",
+		},
+		{
+			name:    "empty baseline errors",
+			old:     nil,
+			new:     []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
+			wantErr: "no baseline",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmp, err := Compare(tc.old, tc.new, tol)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Compare: %v", err)
+			}
+			if cmp.Regressed() != tc.regressed {
+				t.Fatalf("Regressed = %v, want %v (deltas: %+v)",
+					cmp.Regressed(), tc.regressed, cmp.Deltas)
+			}
+			if tc.regression != "" {
+				found := false
+				for _, d := range cmp.Regressions() {
+					if d.Metric == tc.regression {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("expected %s among regressions, got %+v",
+						tc.regression, cmp.Regressions())
+				}
+			}
+			// Every scenario contributes its five deltas.
+			if want := 5 * len(tc.old); len(cmp.Deltas) != want {
+				t.Fatalf("got %d deltas, want %d", len(cmp.Deltas), want)
+			}
+		})
+	}
+}
+
+func TestCompareRejectsBadTolerance(t *testing.T) {
+	r := []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)}
+	for _, tol := range []float64{0, -1, 1, 2} {
+		if _, err := Compare(r, r, tol); err == nil {
+			t.Fatalf("tolerance %v accepted", tol)
+		}
+	}
+}
+
+func TestCompareCoresMismatchCarriesNote(t *testing.T) {
+	o := cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)
+	o.Config.Cores = 1
+	n := cmpReport("warm-hammer", 100, 0.002, 0, 1e9)
+	n.Config.Cores = 8
+	cmp, err := Compare([]Report{o}, []Report{n}, 0.25)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	d := cmp.Deltas[0]
+	if d.Metric != "throughput_norm" || d.Gated || d.Regression {
+		t.Fatalf("mismatched-cores throughput should be ungated: %+v", d)
+	}
+	if d.Note == "" {
+		t.Fatal("ungated throughput delta should carry an explanatory note")
+	}
+}
+
+func TestCompareFallsBackToRawThroughput(t *testing.T) {
+	old := []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 0)}
+	new := []Report{cmpReport("warm-hammer", 900, 0.002, 0, 1e9)}
+	cmp, err := Compare(old, new, 0.25)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if cmp.Deltas[0].Metric != "throughput_rps" {
+		t.Fatalf("expected raw throughput metric without both calibrations, got %s",
+			cmp.Deltas[0].Metric)
+	}
+	if cmp.Regressed() {
+		t.Fatal("10%% drop under 25%% tolerance should pass")
+	}
+}
+
+func TestCompareChangeIsZeroSafeOnZeroOld(t *testing.T) {
+	old := []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)}
+	new := []Report{cmpReport("warm-hammer", 1000, 0.002, 0.5, 1e9)}
+	cmp, err := Compare(old, new, 0.25)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Metric == "error_rate" {
+			if d.Change != 0 {
+				t.Fatalf("change from zero old should be 0, got %v", d.Change)
+			}
+			if !d.Regression {
+				t.Fatal("error-rate spike from zero should still regress")
+			}
+		}
+	}
+}

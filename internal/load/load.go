@@ -1,0 +1,194 @@
+// Package load is the toolkit's self-measuring load-generation subsystem:
+// it replays open-loop (PoissonTrace-driven, arrival-faithful) and
+// closed-loop (N concurrent clients) request streams against an
+// experiment-serving target — the in-process serve.Engine or a live
+// arch21d HTTP endpoint — using Zipf-keyed experiment/parameter mixes
+// built from internal/workload so cache hit ratios are realistic. Each run
+// records per-request latency into stats.LatencyRecorder and serializes a
+// versioned Report (the repo's BENCH_*.json perf-trajectory artifact):
+// achieved throughput, p50/p95/p99/p999, error rate, cache hit and dedup
+// ratios, plus a machine calibration figure so Compare can check two
+// reports from different hardware against a regression tolerance — the
+// closed-loop evaluation infrastructure the paper's agenda calls for,
+// applied to the serving stack itself and gated in CI.
+package load
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// Variant is one distinct request the generator can issue: an experiment
+// ID plus a (possibly nil) parameter assignment. Distinct variants hit
+// distinct cache keys in the serving engine.
+type Variant struct {
+	// ID is the experiment to request.
+	ID string
+	// Params is the parameter assignment (nil for defaults).
+	Params core.Params
+}
+
+// String renders the variant like an engine cache key ("E7?bces=64&f=0.9";
+// bare ID for default assignments).
+func (v Variant) String() string {
+	as := v.Params.Assignments()
+	if len(as) == 0 {
+		return v.ID
+	}
+	return v.ID + "?" + strings.Join(as, "&")
+}
+
+// Mode selects how the generator paces requests.
+type Mode uint8
+
+const (
+	// ClosedLoop runs N clients in think-time-free loops: each client
+	// issues its next request as soon as the previous one completes, so
+	// offered load adapts to the target (a saturation probe).
+	ClosedLoop Mode = iota
+	// OpenLoop replays a Poisson arrival trace faithfully: requests fire
+	// at their scheduled arrival times regardless of completions, and
+	// latency is measured from the scheduled arrival — generator lag and
+	// queueing count against the target (no coordinated omission).
+	OpenLoop
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ClosedLoop:
+		return "closed"
+	case OpenLoop:
+		return "open"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Scenario is one named load shape from the catalog.
+type Scenario struct {
+	// Name identifies the scenario (the -scenario flag and Report key).
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Mode is the pacing discipline.
+	Mode Mode
+	// Variants is the request catalog, hottest first: under a Zipf skew,
+	// Variants[0] receives the most traffic.
+	Variants []Variant
+	// Skew is the Zipf exponent over Variants. Zero means strict
+	// round-robin cycling (every variant touched equally, in order) —
+	// what the cold-grid scenarios use to guarantee full coverage.
+	Skew float64
+	// Rate is the default open-loop arrival rate (req/s).
+	Rate float64
+	// Clients is the default closed-loop concurrency.
+	Clients int
+	// Warm pre-touches every variant once before the measured window, so
+	// the run measures the steady (warm-cache) state.
+	Warm bool
+	// Reset drops the target's cache before the run (engine targets
+	// only), so the run measures cold/compulsory-miss behavior.
+	Reset bool
+	// Seed drives trace generation and client key draws.
+	Seed uint64
+}
+
+// gridVariants expands a sweep-style parameter grid ("f=0.9:0.99:0.01")
+// into one variant per grid point, reusing the sweep package's
+// deterministic axis parsing and row-major expansion so a load scenario's
+// request construction matches what POST /sweep would fan out. The
+// catalog is static, so malformed axes fail loudly.
+func gridVariants(id string, axes ...string) []Variant {
+	sp, err := sweep.ParseSpec(id, axes)
+	if err != nil {
+		panic(fmt.Sprintf("load: bad scenario grid for %s: %v", id, err))
+	}
+	grid := sp.Grid()
+	out := make([]Variant, len(grid))
+	for i, p := range grid {
+		out[i] = Variant{ID: id, Params: p}
+	}
+	return out
+}
+
+// defaults builds one default-parameter variant per ID.
+func defaults(ids ...string) []Variant {
+	out := make([]Variant, len(ids))
+	for i, id := range ids {
+		out[i] = Variant{ID: id}
+	}
+	return out
+}
+
+// Scenarios returns the scenario catalog. Every variant references the
+// core registry (a test pins this), and every scenario is deterministic
+// for a fixed seed.
+func Scenarios() []Scenario {
+	warm := append(
+		defaults("E7", "E5", "E1", "E2", "E4", "E10", "E14", "E17", "E22", "T1"),
+		Variant{ID: "E7", Params: core.Params{"f": 0.9}},
+		Variant{ID: "E7", Params: core.Params{"bces": 1024}},
+		Variant{ID: "E7", Params: core.Params{"f": 0.99, "bces": 64}},
+		Variant{ID: "E5", Params: core.Params{"tile": 1024}},
+		Variant{ID: "E5", Params: core.Params{"operands": 6}},
+		Variant{ID: "E1", Params: core.Params{"gens": 12}},
+	)
+	mixed := append(
+		defaults("E7", "E5", "E1", "E2", "E14", "E4", "E17", "E10", "E8", "E23", "T2", "E11", "E19"),
+		Variant{ID: "E7", Params: core.Params{"f": 0.95}},
+		Variant{ID: "E5", Params: core.Params{"tile": 16384}},
+		Variant{ID: "E1", Params: core.Params{"gens": 3}},
+	)
+	coldStorm := append(
+		gridVariants("E7", "f=0.9:0.99:0.01", "bces=16,64,256,1024"),
+		gridVariants("E5", "operands=1:8:1", "tile=1024,4096,16384")...,
+	)
+	churn := append(
+		gridVariants("E7", "f=0.9:0.99:0.005", "bces=16,64,256,1024,4096"),
+		append(
+			gridVariants("E5", "operands=1:8:1", "tile=256,1024,4096,16384,65536"),
+			gridVariants("E1", "gens=1:12:1")...,
+		)...,
+	)
+	return []Scenario{
+		{
+			Name: "warm-hammer",
+			Doc:  "closed-loop hammer on a small hot set, cache pre-warmed: steady-state hit-path throughput and tail",
+			Mode: ClosedLoop, Variants: warm, Skew: 1.1, Clients: 8, Warm: true, Seed: 1,
+		},
+		{
+			Name: "cold-storm",
+			Doc:  "closed-loop round-robin over a cold parameter grid: every request a compulsory miss on first pass",
+			Mode: ClosedLoop, Variants: coldStorm, Skew: 0, Clients: 8, Reset: true, Seed: 2,
+		},
+		{
+			Name: "mixed-zipf",
+			Doc:  "open-loop Poisson arrivals, Zipf-keyed over a mixed cheap/expensive catalog: realistic hit ratio under arrival-faithful load",
+			Mode: OpenLoop, Variants: mixed, Skew: 0.9, Rate: 300, Seed: 3,
+		},
+		{
+			Name: "herd",
+			Doc:  "thundering herd: many clients demand one cold expensive key at once; singleflight must collapse the stampede",
+			Mode: ClosedLoop, Variants: defaults("E9"), Clients: 32, Reset: true, Seed: 4,
+		},
+		{
+			Name: "param-churn",
+			Doc:  "closed-loop cycling through a large parameter grid: first pass cold, later passes warm — memoization under churn",
+			Mode: ClosedLoop, Variants: churn, Skew: 0, Clients: 4, Seed: 5,
+		},
+	}
+}
+
+// ScenarioByName finds a catalog scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

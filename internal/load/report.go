@@ -1,0 +1,158 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SchemaVersion is the BENCH_*.json artifact schema. Compare refuses to
+// diff reports across schema versions; bump it on any incompatible field
+// change.
+const SchemaVersion = 1
+
+// Config records the knobs a report was measured under, so a trajectory
+// of BENCH artifacts is self-describing.
+type Config struct {
+	// Target is the target kind ("engine" or "http").
+	Target string `json:"target"`
+	// Mode is the pacing discipline ("closed" or "open").
+	Mode string `json:"mode"`
+	// DurationSeconds is the requested measurement window.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Clients is closed-loop concurrency; Rate the open-loop arrival
+	// rate; Skew the Zipf exponent (0 = round-robin).
+	Clients int     `json:"clients,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Skew    float64 `json:"skew,omitempty"`
+	// Seed drove trace generation and client key draws.
+	Seed uint64 `json:"seed"`
+	// Variants is the request catalog size.
+	Variants int `json:"variants"`
+	// Warm reports whether the cache was pre-warmed before measuring.
+	Warm bool `json:"warm,omitempty"`
+	// Reset reports whether the target's cache was actually dropped
+	// before the run — false for a Reset scenario pointed at a target
+	// that cannot reset (a live daemon), so "cold" artifacts measured
+	// warm are distinguishable.
+	Reset bool `json:"reset,omitempty"`
+	// Cores is GOMAXPROCS on the measuring machine. Compare only gates
+	// throughput between reports with equal core counts.
+	Cores int `json:"cores,omitempty"`
+}
+
+// Latency is the measured latency distribution, in seconds.
+type Latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Metrics is one run's measured outcome.
+type Metrics struct {
+	// Requests counts issued requests in the measured window; Errors
+	// those that failed; ErrorRate their ratio.
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// DurationSeconds is the achieved (wall-clock) window.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// ThroughputRPS is successful requests per second of wall time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// CacheHitRatio and DedupRatio are fractions of successful requests
+	// served from cache / piggybacked on an in-flight execution.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	DedupRatio    float64 `json:"dedup_ratio"`
+	// Latency is the successful-request latency distribution (seconds),
+	// measured from scheduled arrival in open loop (coordinated-omission
+	// free) and from send in closed loop.
+	Latency Latency `json:"latency_seconds"`
+}
+
+// Report is one scenario run — the versioned, machine-readable BENCH
+// artifact the repo's perf trajectory accumulates.
+type Report struct {
+	// Schema is the artifact schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Scenario names the catalog scenario measured.
+	Scenario string `json:"scenario"`
+	// Git is `git describe --always --dirty` at measurement time (empty
+	// when unknown — e.g. tests).
+	Git string `json:"git,omitempty"`
+	// GoVersion is runtime.Version() of the measuring binary.
+	GoVersion string `json:"go_version"`
+	// CalibrationBPS is the machine's aggregate hash throughput (bytes/s;
+	// see Calibrate) measured at this run's own concurrency, letting
+	// Compare normalize throughput across machines of different per-core
+	// speeds and core counts.
+	CalibrationBPS float64 `json:"calibration_bps"`
+	// Config is the run configuration; Metrics the measured outcome.
+	Config  Config  `json:"config"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Validate checks that a report is a usable trajectory artifact: current
+// schema, named scenario, and nonzero measured traffic (throughput and
+// tail both present).
+func (r Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("load: report schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Scenario == "" {
+		return fmt.Errorf("load: report has no scenario name")
+	}
+	if r.Metrics.Requests <= 0 {
+		return fmt.Errorf("load: report %s measured no requests", r.Scenario)
+	}
+	if r.Metrics.ThroughputRPS <= 0 {
+		return fmt.Errorf("load: report %s has zero throughput", r.Scenario)
+	}
+	if r.Metrics.Latency.P99 <= 0 {
+		return fmt.Errorf("load: report %s has zero p99", r.Scenario)
+	}
+	return nil
+}
+
+// WriteFile serializes reports as indented JSON: a single object for one
+// report (the common CI artifact), an array for several.
+func WriteFile(path string, reports ...Report) error {
+	if len(reports) == 0 {
+		return fmt.Errorf("load: no reports to write")
+	}
+	var v interface{} = reports
+	if len(reports) == 1 {
+		v = reports[0]
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: encode reports: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadReports parses a BENCH JSON file holding either a single report
+// object or an array of them.
+func ReadReports(path string) ([]Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(buf))
+	if strings.HasPrefix(trimmed, "[") {
+		var many []Report
+		if err := json.Unmarshal(buf, &many); err != nil {
+			return nil, fmt.Errorf("load: parse %s: %w", path, err)
+		}
+		return many, nil
+	}
+	var one Report
+	if err := json.Unmarshal(buf, &one); err != nil {
+		return nil, fmt.Errorf("load: parse %s: %w", path, err)
+	}
+	return []Report{one}, nil
+}

@@ -1,0 +1,134 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Outcome reports how the target satisfied one request.
+type Outcome struct {
+	// CacheHit reports whether the result came straight from the
+	// memoizing cache.
+	CacheHit bool
+	// Shared reports whether the request piggybacked on another caller's
+	// in-flight execution (singleflight).
+	Shared bool
+}
+
+// Target abstracts where load is applied: the in-process engine or a live
+// daemon over HTTP. Implementations must be safe for concurrent Do calls.
+type Target interface {
+	// Do issues one request and reports its outcome.
+	Do(v Variant) (Outcome, error)
+	// Name identifies the target kind in reports ("engine", "http").
+	Name() string
+}
+
+// Resetter is implemented by targets whose cache can be dropped in place
+// (the in-process engine). Scenarios with Reset set are served cold when
+// the target supports it and as-is otherwise.
+type Resetter interface {
+	ResetCache()
+}
+
+// EngineTarget applies load to an in-process serve.Engine.
+type EngineTarget struct {
+	eng *serve.Engine
+}
+
+// NewEngineTarget wraps an engine. The caller keeps ownership (and must
+// Close it).
+func NewEngineTarget(eng *serve.Engine) *EngineTarget {
+	return &EngineTarget{eng: eng}
+}
+
+// Do serves one variant through the engine.
+func (t *EngineTarget) Do(v Variant) (Outcome, error) {
+	resp, err := t.eng.ServeWith(v.ID, v.Params)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{CacheHit: resp.CacheHit, Shared: resp.Shared}, nil
+}
+
+// Name identifies the target kind.
+func (t *EngineTarget) Name() string { return "engine" }
+
+// ResetCache drops the engine's memoized results.
+func (t *EngineTarget) ResetCache() { t.eng.Reset() }
+
+// HTTPTarget applies load to a live arch21d endpoint via GET /run/{id}.
+type HTTPTarget struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTarget points at an arch21d base address ("localhost:8021",
+// ":8021", or a full http:// URL).
+func NewHTTPTarget(addr string) *HTTPTarget {
+	base := strings.TrimSuffix(addr, "/")
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &HTTPTarget{
+		base: base,
+		client: &http.Client{
+			Timeout: 2 * time.Minute,
+			// The default transport keeps only 2 idle connections per
+			// host — a 32-client scenario would re-dial TCP every round
+			// and measure handshakes instead of the daemon. Size the
+			// idle pool past any scenario's client count.
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+// runOutcome is the slice of the /run/{id} JSON envelope the load
+// generator needs.
+type runOutcome struct {
+	CacheHit bool `json:"cache_hit"`
+	Shared   bool `json:"shared"`
+}
+
+// Do issues one GET /run/{id}?param=... request and decodes the outcome.
+func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
+	q := url.Values{}
+	for _, a := range v.Params.Assignments() {
+		q.Add("param", a)
+	}
+	u := t.base + "/run/" + url.PathEscape(v.ID)
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := t.client.Get(u)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Outcome{}, fmt.Errorf("load: %s: HTTP %d: %s", v, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out runOutcome
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Outcome{}, fmt.Errorf("load: %s: bad envelope: %v", v, err)
+	}
+	return Outcome{CacheHit: out.CacheHit, Shared: out.Shared}, nil
+}
+
+// Name identifies the target kind.
+func (t *HTTPTarget) Name() string { return "http" }

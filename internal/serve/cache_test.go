@@ -175,3 +175,65 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheStatsConservedUnderConcurrency drives concurrent Gets (over a
+// mix of present and absent keys, interleaved with Sets) and asserts the
+// aggregated counters conserve the fundamental identity: every Get is
+// exactly one hit or one miss, so Stats().Hits + Stats().Misses equals the
+// number of Get calls issued — no outcome double-counted or lost across
+// shards.
+func TestCacheStatsConservedUnderConcurrency(t *testing.T) {
+	c := NewCache(8, 0)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("k%d", (w*perWorker+i)%64)
+				switch i % 4 {
+				case 0:
+					c.Set(key, []byte("v"))
+				default:
+					c.Get(key)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	gets := uint64(workers * perWorker * 3 / 4)
+	st := c.Stats()
+	if st.Hits+st.Misses != gets {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d gets",
+			st.Hits, st.Misses, st.Hits+st.Misses, gets)
+	}
+	if st.Expired != 0 {
+		t.Fatalf("expired = %d with zero TTL, want 0", st.Expired)
+	}
+	if st.Entries == 0 || st.Entries > 64 {
+		t.Fatalf("entries = %d, want (0, 64]", st.Entries)
+	}
+	if st.Shards != 8 {
+		t.Fatalf("shards = %d, want 8", st.Shards)
+	}
+}
+
+// Expired entries must count as both an expiry and a miss, preserving the
+// hits+misses == gets identity.
+func TestCacheStatsExpiryCountsAsMiss(t *testing.T) {
+	c := NewCache(1, 10*time.Millisecond)
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	c.Set("k", []byte("v"))
+	now = now.Add(time.Hour)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("expiry counters wrong: %+v", st)
+	}
+}

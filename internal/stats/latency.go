@@ -60,10 +60,12 @@ type LatencySnapshot struct {
 	Mean float64 `json:"mean"`
 	Min  float64 `json:"min"`
 	Max  float64 `json:"max"`
-	// P50, P99 are estimated from the reservoir (exact while Count does
-	// not exceed the reservoir capacity).
-	P50 float64 `json:"p50"`
-	P99 float64 `json:"p99"`
+	// P50, P95, P99, P999 are estimated from the reservoir (exact while
+	// Count does not exceed the reservoir capacity).
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
 }
 
 // Snapshot returns current statistics. It is safe to call concurrently
@@ -83,7 +85,9 @@ func (l *LatencyRecorder) Snapshot() LatencySnapshot {
 	if len(xs) > 0 {
 		s := Sample{xs: xs}
 		snap.P50 = s.Percentile(50)
+		snap.P95 = s.Percentile(95)
 		snap.P99 = s.Percentile(99)
+		snap.P999 = s.Percentile(99.9)
 	}
 	return snap
 }

@@ -27,12 +27,22 @@ func TestLatencyRecorderExactWithinCapacity(t *testing.T) {
 	if s.P99 < 98 || s.P99 > 100 {
 		t.Fatalf("p99: got %v want ~99", s.P99)
 	}
+	if s.P95 < 94 || s.P95 > 97 {
+		t.Fatalf("p95: got %v want ~95", s.P95)
+	}
+	if s.P999 < s.P99 || s.P999 > 100 {
+		t.Fatalf("p999: got %v want in [p99, 100]", s.P999)
+	}
+	// The tail percentiles must be ordered.
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
 }
 
 func TestLatencyRecorderEmpty(t *testing.T) {
 	l := NewLatencyRecorder(8, 1)
 	s := l.Snapshot()
-	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.P999 != 0 {
 		t.Fatalf("empty snapshot not zero: %+v", s)
 	}
 }

@@ -238,3 +238,57 @@ func TestEmptyTraceEdges(t *testing.T) {
 		t.Fatal("empty trace should be zeros")
 	}
 }
+
+func TestAssignmentsMapping(t *testing.T) {
+	r := stats.NewRNG(5)
+	tr := ZipfTrace(5000, 100, stats.Constant{V: 0.01}, 8, 1.1, r)
+	idx := tr.Assignments(8)
+	if len(idx) != len(tr) {
+		t.Fatalf("got %d assignments for %d requests", len(idx), len(tr))
+	}
+	counts := make([]int, 8)
+	for i, k := range idx {
+		if k < 0 || k >= 8 {
+			t.Fatalf("assignment %d out of range [0,8)", k)
+		}
+		// One-to-one with the trace's rank space when n == nKeys.
+		if want := tr[i].Key - 1; k != want {
+			t.Fatalf("request %d: rank %d mapped to %d, want %d", i, tr[i].Key, k, want)
+		}
+		counts[k]++
+	}
+	// Entry 0 carries rank 1's popularity: the plurality of requests.
+	for i := 1; i < 8; i++ {
+		if counts[0] <= counts[i] {
+			t.Fatalf("entry 0 (%d) not hottest vs entry %d (%d)", counts[0], i, counts[i])
+		}
+	}
+}
+
+func TestAssignmentsFoldsWiderKeySpace(t *testing.T) {
+	r := stats.NewRNG(6)
+	tr := ZipfTrace(1000, 100, stats.Constant{V: 0.01}, 40, 1.0, r)
+	idx := tr.Assignments(8)
+	for i, k := range idx {
+		if want := (tr[i].Key - 1) % 8; k != want {
+			t.Fatalf("request %d: got %d want %d", i, k, want)
+		}
+	}
+	if got := tr.Assignments(0); got != nil {
+		t.Fatalf("Assignments(0) = %v, want nil", got)
+	}
+}
+
+func TestDistinctAssignments(t *testing.T) {
+	tr := RequestTrace{{Key: 1}, {Key: 1}, {Key: 2}, {Key: 9}}
+	// Keys 1 and 9 collide mod 8 (ranks 1 and 9 -> entry 0), key 2 -> 1.
+	if got := tr.DistinctAssignments(8); got != 2 {
+		t.Fatalf("DistinctAssignments(8) = %d, want 2", got)
+	}
+	if got := tr.DistinctAssignments(0); got != 0 {
+		t.Fatalf("DistinctAssignments(0) = %d, want 0", got)
+	}
+	if got := RequestTrace(nil).DistinctAssignments(4); got != 0 {
+		t.Fatalf("empty trace DistinctAssignments = %d, want 0", got)
+	}
+}
