@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep \
-	loadtest bench-baseline bench-check cover lint clean
+	loadtest bench-baseline bench-check cover lint fuzz fuzz-smoke clean
 
 all: check
 
@@ -24,7 +24,7 @@ race:
 # docs-check fails when DESIGN.md §2 drifts from the experiment registry
 # or a package loses its godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race
@@ -65,6 +65,17 @@ cover:
 # lint runs the pinned staticcheck CI uses (downloads on first run).
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+
+# fuzz runs every native fuzz target for FUZZTIME each (the local
+# acceptance bar). This target is the one authoritative fuzz-target
+# list; fuzz-smoke (CI's quick crash check) reuses it at 10s.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeResult -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
+
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
 
 clean:
 	$(GO) clean ./...

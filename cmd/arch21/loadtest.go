@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/load"
+	"repro/internal/router"
 	"repro/internal/serve"
 )
 
@@ -27,6 +28,7 @@ func cmdLoadtest(args []string) {
 	clients := fs.Int("clients", 0, "closed-loop concurrency (default: scenario)")
 	rate := fs.Float64("rate", 0, "open-loop arrival rate req/s (default: scenario)")
 	httpAddr := fs.String("http", "", "load a live arch21d at this address instead of the in-process engine")
+	replicas := fs.Int("replicas", 0, "front N in-process engine replicas with a consistent-hash router and load that (0 = single engine)")
 	jsonOut := fs.String("json", "", "write the BENCH report JSON to this file")
 	seed := fs.Uint64("seed", 0, "override the scenario seed")
 	workers := fs.Int("workers", 4, "in-process engine worker-pool size")
@@ -56,10 +58,34 @@ func cmdLoadtest(args []string) {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
 
+	if *httpAddr != "" && *replicas > 0 {
+		fatalf("-http and -replicas are mutually exclusive (a live daemon vs an in-process replica set)")
+	}
 	var tgt load.Target
-	if *httpAddr != "" {
+	switch {
+	case *httpAddr != "":
 		tgt = load.NewHTTPTarget(*httpAddr)
-	} else {
+	case *replicas > 0:
+		// An in-process replica set: N engines behind the consistent-hash
+		// router, so the BENCH harness measures routed serving (placement,
+		// health accounting, per-replica caches) like any single engine.
+		engines := make([]*serve.Engine, *replicas)
+		backends := make([]router.Backend, *replicas)
+		for i := range engines {
+			engines[i] = serve.NewEngine(serve.Config{Workers: *workers})
+			defer engines[i].Close()
+			backends[i] = router.NewEngineBackend(engines[i], fmt.Sprintf("engine[%d]", i))
+		}
+		rt, err := router.New(backends, router.Config{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tgt = load.NewServerTarget(rt, "router").WithReset(func() {
+			for _, eng := range engines {
+				eng.Reset()
+			}
+		})
+	default:
 		eng := serve.NewEngine(serve.Config{Workers: *workers})
 		defer eng.Close()
 		tgt = load.NewEngineTarget(eng)

@@ -4,9 +4,17 @@
 // bounded worker pool, and self-reported tail latency. Parameter sweeps
 // fan grids out over the same engine and stream NDJSON.
 //
+// With -peers, arch21d runs as a consistent-hash routing front-end
+// instead: requests (and every sweep grid point) route to the replica
+// owning their cache key, with health-checked ejection and bounded
+// failover. With -snapshot, the engine persists its cache to disk (tier
+// 2) and warm-starts from it on boot.
+//
 // Usage:
 //
 //	arch21d [-addr :8021] [-shards 16] [-ttl 0] [-workers 4]
+//	        [-snapshot cache.snap] [-snapshot-every 30s]
+//	arch21d -peers :8022,:8023,:8024 [-addr :8021]
 //
 // Endpoints:
 //
@@ -16,6 +24,7 @@
 //	GET  /run/{id}?param=n=v   override declared parameters (repeatable)
 //	POST /sweep                parameter-grid sweep, streamed as NDJSON
 //	GET  /stats                request counters, cache stats, p50/p99
+//	                           (router mode: routing counters + backend health)
 //
 // Example:
 //
@@ -27,14 +36,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -44,6 +58,9 @@ func main() {
 	shards := flag.Int("shards", 16, "cache shard count (rounded up to a power of two)")
 	ttl := flag.Duration("ttl", 0, "cache entry TTL (0 = never expire)")
 	workers := flag.Int("workers", 4, "max concurrent cold experiment runs")
+	snapshot := flag.String("snapshot", "", "tier-2 cache snapshot file: warm-start from it on boot, persist to it while serving")
+	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "background snapshot save interval (0 = only on shutdown)")
+	peers := flag.String("peers", "", "comma-separated replica addresses: run as a consistent-hash routing front-end instead of serving locally")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "arch21d: unexpected arguments %v\n", flag.Args())
@@ -51,16 +68,69 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine := serve.NewEngine(serve.Config{
-		Shards:  *shards,
-		TTL:     *ttl,
-		Workers: *workers,
-	})
-	defer engine.Close()
-
 	mux := http.NewServeMux()
-	mux.Handle("/", engine.Handler())
-	mux.Handle("POST /sweep", sweep.Handler(engine))
+	var onShutdown func()
+
+	if *peers != "" {
+		// A routing front-end has no local engine: accepting and silently
+		// dropping engine flags would let an operator believe they
+		// configured a cache that does not exist.
+		engineOnly := map[string]bool{"shards": true, "ttl": true, "workers": true,
+			"snapshot": true, "snapshot-every": true}
+		flag.Visit(func(f *flag.Flag) {
+			if engineOnly[f.Name] {
+				fmt.Fprintf(os.Stderr, "arch21d: -%s configures the local engine and has no effect with -peers\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		var backends []router.Backend
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			backends = append(backends, router.NewHTTPBackend(p))
+		}
+		rt, err := router.New(backends, router.Config{})
+		if err != nil {
+			log.Fatalf("arch21d: %v", err)
+		}
+		mux.Handle("/", rt.Handler())
+		mux.Handle("POST /sweep", sweep.Handler(rt))
+		log.Printf("arch21d: routing front-end for %d replicas on %s (peers=%s)",
+			len(backends), *addr, *peers)
+	} else {
+		engine := serve.NewEngine(serve.Config{
+			Shards:       *shards,
+			TTL:          *ttl,
+			Workers:      *workers,
+			SnapshotPath: *snapshot,
+		})
+		defer engine.Close()
+		mux.Handle("/", engine.Handler())
+		mux.Handle("POST /sweep", sweep.Handler(engine))
+		if *snapshot != "" {
+			if loaded := engine.Metrics().Snapshot.Loaded; loaded > 0 {
+				log.Printf("arch21d: warm start: %d entries loaded from %s", loaded, *snapshot)
+			}
+			if *snapshotEvery > 0 {
+				go func() {
+					for range time.Tick(*snapshotEvery) {
+						if err := engine.SaveSnapshot(); err != nil {
+							log.Printf("arch21d: snapshot save: %v", err)
+						}
+					}
+				}()
+			}
+			onShutdown = func() {
+				if err := engine.SaveSnapshot(); err != nil {
+					log.Printf("arch21d: final snapshot save: %v", err)
+				}
+			}
+		}
+		log.Printf("arch21d: serving %d experiments on %s (shards=%d ttl=%v workers=%d snapshot=%q)",
+			len(core.Registry()), *addr, *shards, *ttl, *workers, *snapshot)
+	}
 
 	srv := &http.Server{
 		Addr:         *addr,
@@ -68,9 +138,39 @@ func main() {
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 5 * time.Minute, // cold "run all"-class requests and sweeps are slow
 	}
-	log.Printf("arch21d: serving %d experiments on %s (shards=%d ttl=%v workers=%d)",
-		len(core.Registry()), *addr, *shards, *ttl, *workers)
-	if err := srv.ListenAndServe(); err != nil {
+	// On SIGINT/SIGTERM, drain in-flight requests first (long sweeps get
+	// up to the write timeout to finish streaming), then take the final
+	// snapshot — saving after the drain, not during it, so results
+	// memoized by the last requests make it into the file the next boot
+	// warm-starts from.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		// A second signal during the (up to WriteTimeout-long) drain
+		// forces an immediate exit — the operator must keep a way out
+		// short of SIGKILL.
+		go func() {
+			<-sig
+			log.Printf("arch21d: second signal, exiting without draining")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), srv.WriteTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("arch21d: shutdown: %v", err)
+		}
+		if onShutdown != nil {
+			onShutdown()
+		}
+	}()
+	err := srv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
 		log.Fatalf("arch21d: %v", err)
+	}
+	if err == http.ErrServerClosed {
+		<-done // let the drain + final snapshot finish before exiting
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/load"
 )
 
 // design2 returns the §2 section of DESIGN.md.
@@ -90,6 +91,66 @@ func TestParamDefaultsValidate(t *testing.T) {
 		// experiment (this is what Serve(id) runs).
 		if _, err := e.ResolveParams(nil); err != nil {
 			t.Errorf("%s: ResolveParams(nil): %v", e.ID, err)
+		}
+	}
+}
+
+// The multi-replica serving docs cannot drift: DESIGN.md must carry a §7
+// covering internal/router and the two-tier cache, README must carry the
+// "Running a replica set" walkthrough touching every endpoint and the
+// -peers/-snapshot flags, and DESIGN.md §6's scenario table must list
+// every catalog scenario (including cluster-scatter).
+func TestReplicaDocsCoverRouter(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s7 := strings.Index(doc, "## §7")
+	if s7 < 0 {
+		t.Fatal("DESIGN.md has no §7 (multi-replica serving)")
+	}
+	sec7 := doc[s7:]
+	for _, want := range []string{
+		"internal/router", "ConsistentHash", "PlaceK", "SnapshotPath",
+		"RouteKey", "FuzzDecodeResult", "FuzzParseAxis", "cluster-scatter",
+	} {
+		if !strings.Contains(sec7, want) {
+			t.Errorf("DESIGN.md §7 no longer mentions %q", want)
+		}
+	}
+	// §6's scenario table must index the whole load catalog.
+	s6 := strings.Index(doc, "## §6")
+	if s6 < 0 || s6 >= s7 {
+		t.Fatal("DESIGN.md lost its §6/§7 structure")
+	}
+	sec6 := doc[s6:s7]
+	for _, sc := range load.Scenarios() {
+		if !strings.Contains(sec6, "| "+sc.Name+" ") {
+			t.Errorf("DESIGN.md §6 scenario table is missing a row for %s", sc.Name)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := string(readme)
+	start := strings.Index(rdoc, "## Running a replica set")
+	if start < 0 {
+		t.Fatal("README.md has no \"Running a replica set\" walkthrough")
+	}
+	end := strings.Index(rdoc[start:], "\n## Benchmarks")
+	if end < 0 {
+		t.Fatal("README.md replica walkthrough lost its section boundary")
+	}
+	sec := rdoc[start : start+end]
+	for _, want := range []string{
+		"-peers", "-snapshot", "/healthz", "/experiments", "/run/", "/sweep", "/stats",
+		"cluster-scatter", "-replicas",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Errorf("README replica walkthrough no longer mentions %q", want)
 		}
 	}
 }

@@ -60,6 +60,22 @@ func NewConsistentHash(n, vnodes int) *ConsistentHash {
 	return ch
 }
 
+// HashString hashes a string key (FNV-1a) into the uint64 key space the
+// sharders place — the one place routing callers get their ring keys
+// from, so every consumer of a ring agrees on placement by construction.
+func HashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
 // splitmix is the same SplitMix64 finalizer the stats package uses, inlined
 // so ring geometry is independent of RNG stream state.
 func splitmix(x uint64) uint64 {
@@ -81,6 +97,34 @@ func (ch *ConsistentHash) Place(key uint64) int {
 
 // Servers implements Sharder.
 func (ch *ConsistentHash) Servers() int { return ch.n }
+
+// PlaceK returns up to k distinct servers for a key, in ring order
+// starting at the key's owner: element 0 is Place(key), element 1 the
+// next distinct server clockwise, and so on. This is the failover chain a
+// router walks when the owner is unhealthy — successive ring positions,
+// so every router instance agrees on the retry order without
+// coordination. k is clamped to the server count.
+func (ch *ConsistentHash) PlaceK(key uint64, k int) []int {
+	if k > ch.n {
+		k = ch.n
+	}
+	if k < 1 {
+		return nil
+	}
+	h := splitmix(key)
+	start := sort.Search(len(ch.points), func(i int) bool { return ch.points[i].hash >= h })
+	out := make([]int, 0, k)
+	seen := make([]bool, ch.n)
+	for i := 0; i < len(ch.points) && len(out) < k; i++ {
+		p := ch.points[(start+i)%len(ch.points)]
+		if seen[p.server] {
+			continue
+		}
+		seen[p.server] = true
+		out = append(out, p.server)
+	}
+	return out
+}
 
 // LoadStats reports placement balance for a key workload.
 type LoadStats struct {

@@ -74,6 +74,64 @@ func TestShardingPanics(t *testing.T) {
 	NewConsistentHash(0, 10)
 }
 
+func TestPlaceKStartsAtOwnerDistinctAndComplete(t *testing.T) {
+	ch := NewConsistentHash(5, 64)
+	for key := uint64(0); key < 2000; key++ {
+		chain := ch.PlaceK(key, 5)
+		if len(chain) != 5 {
+			t.Fatalf("key %d: chain %v should cover all 5 servers", key, chain)
+		}
+		if chain[0] != ch.Place(key) {
+			t.Fatalf("key %d: chain starts at %d, owner is %d", key, chain[0], ch.Place(key))
+		}
+		seen := map[int]bool{}
+		for _, s := range chain {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("key %d: chain %v has out-of-range or duplicate server", key, chain)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestPlaceKClampsAndDegenerates(t *testing.T) {
+	ch := NewConsistentHash(3, 16)
+	if got := ch.PlaceK(42, 10); len(got) != 3 {
+		t.Fatalf("k past server count should clamp to 3, got %v", got)
+	}
+	if got := ch.PlaceK(42, 0); got != nil {
+		t.Fatalf("k=0 should yield nil, got %v", got)
+	}
+	if got := ch.PlaceK(42, 1); len(got) != 1 || got[0] != ch.Place(42) {
+		t.Fatalf("k=1 should be exactly the owner, got %v", got)
+	}
+}
+
+// The failover chain is the routing contract: element i+1 is where keys
+// fail over when element i dies. Model the dead owner directly — a ring
+// with the owner's points removed but identical geometry otherwise —
+// and the survivor ring's owner must be exactly chain[1], per key.
+func TestPlaceKPredictsFailover(t *testing.T) {
+	ch := NewConsistentHash(4, 64)
+	for key := uint64(0); key < 500; key++ {
+		chain := ch.PlaceK(key, 2)
+		owner, next := chain[0], chain[1]
+		if owner == next {
+			t.Fatalf("key %d: owner and successor identical", key)
+		}
+		survivors := &ConsistentHash{n: ch.n}
+		for _, p := range ch.points {
+			if p.server != owner {
+				survivors.points = append(survivors.points, p)
+			}
+		}
+		if got := survivors.Place(key); got != next {
+			t.Fatalf("key %d: with owner %d dead, survivor ring places on %d but PlaceK promised %d",
+				key, owner, got, next)
+		}
+	}
+}
+
 // Property: placement is deterministic and in range for both sharders.
 func TestQuickPlacementSane(t *testing.T) {
 	ch := NewConsistentHash(8, 64)

@@ -2,6 +2,7 @@ package load
 
 import (
 	"fmt"
+	"strings"
 )
 
 // latencyGateFloor (seconds) keeps the latency gate honest: when both
@@ -87,12 +88,25 @@ func Compare(old, new []Report, tolerance float64) (Comparison, error) {
 	for _, r := range new {
 		byScenario[r.Scenario] = r
 	}
+	// Diff the scenario sets up front and name every missing scenario and
+	// which side lacks it — "scenario missing" without the list forces the
+	// operator to diff two JSON files by hand when a baseline and a run
+	// drifted (e.g. a new catalog scenario measured but not yet baselined,
+	// or vice versa).
+	var missing []string
+	for _, o := range old {
+		if _, ok := byScenario[o.Scenario]; !ok {
+			missing = append(missing, o.Scenario)
+		}
+	}
+	if len(missing) > 0 {
+		return Comparison{}, fmt.Errorf(
+			"load: new reports are missing scenario(s) %s (present in the old/baseline side only)",
+			strings.Join(missing, ", "))
+	}
 	cmp := Comparison{Tolerance: tolerance}
 	for _, o := range old {
-		n, ok := byScenario[o.Scenario]
-		if !ok {
-			return Comparison{}, fmt.Errorf("load: scenario %q missing from new reports", o.Scenario)
-		}
+		n := byScenario[o.Scenario]
 		if o.Schema != SchemaVersion || n.Schema != SchemaVersion {
 			return Comparison{}, fmt.Errorf("load: %s: schema version mismatch (old %d, new %d, want %d)",
 				o.Scenario, o.Schema, n.Schema, SchemaVersion)

@@ -146,6 +146,78 @@ func TestCompareTable(t *testing.T) {
 	}
 }
 
+// A baseline whose scenario list is a strict superset of the new run (or
+// any old-only scenarios at all) must error naming every missing scenario
+// and which side lacks it — not just the first one found.
+func TestCompareMissingScenariosAreNamed(t *testing.T) {
+	mk := func(names ...string) []Report {
+		out := make([]Report, len(names))
+		for i, n := range names {
+			out[i] = cmpReport(n, 1000, 0.002, 0, 1e9)
+		}
+		return out
+	}
+	cases := []struct {
+		name        string
+		old, new    []string
+		wantMissing []string // each must appear in the error
+		wantAbsent  []string // each must NOT appear in the error
+		ok          bool
+	}{
+		{
+			name: "baseline strict superset names every missing scenario",
+			old:  []string{"warm-hammer", "herd", "cluster-scatter"},
+			new:  []string{"warm-hammer"},
+			wantMissing: []string{
+				"herd", "cluster-scatter", "old/baseline",
+			},
+			wantAbsent: []string{"warm-hammer,"},
+		},
+		{
+			name:        "one missing scenario named",
+			old:         []string{"warm-hammer", "herd"},
+			new:         []string{"herd"},
+			wantMissing: []string{"warm-hammer"},
+		},
+		{
+			name: "new strict superset passes (extra measurements inform only)",
+			old:  []string{"warm-hammer"},
+			new:  []string{"warm-hammer", "herd", "cluster-scatter"},
+			ok:   true,
+		},
+		{
+			name: "identical sets pass",
+			old:  []string{"warm-hammer", "herd"},
+			new:  []string{"herd", "warm-hammer"},
+			ok:   true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compare(mk(tc.old...), mk(tc.new...), 0.25)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("Compare: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("expected a missing-scenario error")
+			}
+			for _, want := range tc.wantMissing {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not name %q", err, want)
+				}
+			}
+			for _, absent := range tc.wantAbsent {
+				if strings.Contains(err.Error(), absent) {
+					t.Errorf("error %q wrongly names %q", err, absent)
+				}
+			}
+		})
+	}
+}
+
 func TestCompareRejectsBadTolerance(t *testing.T) {
 	r := []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)}
 	for _, tol := range []float64{0, -1, 1, 2} {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -42,6 +43,53 @@ func TestE2EWarmHammerAgainstEngine(t *testing.T) {
 	}
 	if rep.CalibrationBPS <= 0 {
 		t.Fatal("calibration missing from report")
+	}
+}
+
+// The cluster-scatter scenario against a real 3-replica router cluster:
+// the BENCH harness measures routed serving like any single engine, the
+// run is error-free, and placement actually scatters traffic across
+// every replica.
+func TestE2EClusterScatterAgainstRouter(t *testing.T) {
+	sc, ok := ScenarioByName("cluster-scatter")
+	if !ok {
+		t.Fatal("cluster-scatter missing from catalog")
+	}
+	engines := make([]*serve.Engine, 3)
+	backends := make([]router.Backend, 3)
+	for i := range engines {
+		engines[i] = newTestEngine(t)
+		backends[i] = router.NewEngineBackend(engines[i], "engine")
+	}
+	rt, err := router.New(backends, router.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewServerTarget(rt, "router").WithReset(func() {
+		for _, e := range engines {
+			e.Reset()
+		}
+	})
+	rep, err := Run(tgt, sc, Options{Duration: 300 * time.Millisecond, Clients: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Config.Target != "router" {
+		t.Fatalf("target recorded as %q, want router", rep.Config.Target)
+	}
+	if rep.Metrics.Errors != 0 {
+		t.Fatalf("cluster scatter errored: %+v", rep.Metrics)
+	}
+	if rep.Metrics.CacheHitRatio < 0.9 {
+		t.Fatalf("warmed scatter hit ratio %v, want ~1", rep.Metrics.CacheHitRatio)
+	}
+	for i, e := range engines {
+		if e.Metrics().Requests == 0 {
+			t.Fatalf("replica %d saw no traffic — router is not scattering", i)
+		}
 	}
 }
 

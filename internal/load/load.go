@@ -154,6 +154,16 @@ func Scenarios() []Scenario {
 			gridVariants("E1", "gens=1:12:1")...,
 		)...,
 	)
+	// A wide, cheap key set whose cache keys scatter across a consistent
+	// ring: many distinct E7/E1 points plus a band of defaults, so an
+	// N-replica router sees every backend take traffic.
+	scatter := append(
+		gridVariants("E7", "f=0.9:0.99:0.01", "bces=16,64,256,1024"),
+		append(
+			gridVariants("E1", "gens=1:12:1"),
+			defaults("E2", "E4", "E10", "E14", "E17", "E22", "T1")...,
+		)...,
+	)
 	return []Scenario{
 		{
 			Name: "warm-hammer",
@@ -174,6 +184,11 @@ func Scenarios() []Scenario {
 			Name: "herd",
 			Doc:  "thundering herd: many clients demand one cold expensive key at once; singleflight must collapse the stampede",
 			Mode: ClosedLoop, Variants: defaults("E9"), Clients: 32, Reset: true, Seed: 4,
+		},
+		{
+			Name: "cluster-scatter",
+			Doc:  "closed-loop round-robin over a wide warmed key grid: consistent-hash placement scatters requests across every replica — run against a router (arch21 loadtest -replicas N) to measure routed serving like any single engine",
+			Mode: ClosedLoop, Variants: scatter, Skew: 0, Clients: 8, Warm: true, Seed: 6,
 		},
 		{
 			Name: "param-churn",

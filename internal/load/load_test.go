@@ -57,8 +57,8 @@ func (s *stubTarget) count(k string) int {
 // the core registry.
 func TestScenarioCatalogResolves(t *testing.T) {
 	scs := Scenarios()
-	if len(scs) != 5 {
-		t.Fatalf("catalog has %d scenarios, want 5", len(scs))
+	if len(scs) != 6 {
+		t.Fatalf("catalog has %d scenarios, want 6", len(scs))
 	}
 	seen := map[string]bool{}
 	for _, sc := range scs {
@@ -82,7 +82,7 @@ func TestScenarioCatalogResolves(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"warm-hammer", "cold-storm", "mixed-zipf", "herd", "param-churn"} {
+	for _, name := range []string{"warm-hammer", "cold-storm", "mixed-zipf", "herd", "cluster-scatter", "param-churn"} {
 		if _, ok := ScenarioByName(name); !ok {
 			t.Fatalf("ScenarioByName(%q) missing", name)
 		}

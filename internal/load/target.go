@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/serve"
 )
 
@@ -38,20 +39,47 @@ type Resetter interface {
 	ResetCache()
 }
 
-// EngineTarget applies load to an in-process serve.Engine.
-type EngineTarget struct {
-	eng *serve.Engine
-}
+// EngineTarget applies load to an in-process serve.Engine: a
+// ServerTarget with the engine's own cache reset wired up.
+type EngineTarget struct{ ResettableServerTarget }
 
 // NewEngineTarget wraps an engine. The caller keeps ownership (and must
 // Close it).
 func NewEngineTarget(eng *serve.Engine) *EngineTarget {
-	return &EngineTarget{eng: eng}
+	return &EngineTarget{ResettableServerTarget{
+		ServerTarget: ServerTarget{srv: eng, name: "engine", reset: eng.Reset},
+	}}
 }
 
-// Do serves one variant through the engine.
-func (t *EngineTarget) Do(v Variant) (Outcome, error) {
-	resp, err := t.eng.ServeWith(v.ID, v.Params)
+// Server is any in-process serving surface (serve.Engine, router.Router)
+// a ServerTarget can drive.
+type Server interface {
+	ServeWith(id string, p core.Params) (serve.Response, error)
+}
+
+// ServerTarget applies load to any Server — how the router is measured
+// like any single engine.
+type ServerTarget struct {
+	srv   Server
+	name  string
+	reset func()
+}
+
+// NewServerTarget wraps a server under a target name for reports
+// ("router", "engine").
+func NewServerTarget(srv Server, name string) *ServerTarget {
+	return &ServerTarget{srv: srv, name: name}
+}
+
+// WithReset attaches a cache-reset hook (e.g. resetting every replica
+// engine behind a router), making the target satisfy Resetter.
+func (t *ServerTarget) WithReset(reset func()) *ResettableServerTarget {
+	return &ResettableServerTarget{ServerTarget: ServerTarget{srv: t.srv, name: t.name, reset: reset}}
+}
+
+// Do serves one variant through the server.
+func (t *ServerTarget) Do(v Variant) (Outcome, error) {
+	resp, err := t.srv.ServeWith(v.ID, v.Params)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -59,10 +87,13 @@ func (t *EngineTarget) Do(v Variant) (Outcome, error) {
 }
 
 // Name identifies the target kind.
-func (t *EngineTarget) Name() string { return "engine" }
+func (t *ServerTarget) Name() string { return t.name }
 
-// ResetCache drops the engine's memoized results.
-func (t *EngineTarget) ResetCache() { t.eng.Reset() }
+// ResettableServerTarget is a ServerTarget with a working cache reset.
+type ResettableServerTarget struct{ ServerTarget }
+
+// ResetCache implements Resetter.
+func (t *ResettableServerTarget) ResetCache() { t.reset() }
 
 // HTTPTarget applies load to a live arch21d endpoint via GET /run/{id}.
 type HTTPTarget struct {

@@ -135,7 +135,15 @@ func DecodeTable(buf []byte) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := make([]string, 0, nc)
+		// Never pre-allocate on the declared count alone: every cell costs
+		// at least one buffer byte, so a count past the remaining bytes is
+		// corrupt and would otherwise turn a ~20-byte payload into a
+		// multi-GB make() (found by FuzzDecodeResult).
+		capHint := nc
+		if rem := uint64(len(d.buf) - d.off); capHint > rem {
+			capHint = rem
+		}
+		row := make([]string, 0, capHint)
 		for j := uint64(0); j < nc; j++ {
 			c, err := d.str()
 			if err != nil {

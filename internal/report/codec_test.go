@@ -125,3 +125,21 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// A row's declared cell count must never drive allocation on its own: a
+// ~20-byte payload declaring a multi-billion-cell row once OOMed the
+// decoder (found by FuzzDecodeResult). The payload must fail cleanly —
+// and fast — instead.
+func TestDecodeTableHugeCellCountIsCorruptNotOOM(t *testing.T) {
+	e := &encoder{}
+	e.buf = append(e.buf, kindTable)
+	e.str("t")   // title
+	e.str("")    // note
+	e.uvarint(1) // one header
+	e.str("h")
+	e.uvarint(1)       // one row...
+	e.uvarint(1 << 40) // ...claiming 2^40 cells
+	if _, err := DecodeTable(e.buf); err == nil {
+		t.Fatal("huge declared cell count should be corrupt")
+	}
+}

@@ -1,0 +1,176 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Backend is one serve replica the router can place requests on.
+// Implementations must be safe for concurrent calls.
+type Backend interface {
+	// Do serves one (experiment, assignment) request.
+	Do(id string, p core.Params) (serve.Response, error)
+	// Check probes liveness cheaply; nil means healthy. The router calls
+	// it to decide re-admission of an ejected backend.
+	Check() error
+	// Name identifies the backend in metrics ("engine[2]",
+	// "http://host:8021").
+	Name() string
+}
+
+// EngineBackend is an in-process serve.Engine shard.
+type EngineBackend struct {
+	eng  *serve.Engine
+	name string
+}
+
+// NewEngineBackend wraps an engine. The caller keeps ownership (and must
+// Close it).
+func NewEngineBackend(eng *serve.Engine, name string) *EngineBackend {
+	return &EngineBackend{eng: eng, name: name}
+}
+
+// Do implements Backend.
+func (b *EngineBackend) Do(id string, p core.Params) (serve.Response, error) {
+	return b.eng.ServeWith(id, p)
+}
+
+// Check implements Backend; an in-process engine is alive by definition.
+func (b *EngineBackend) Check() error { return nil }
+
+// Name implements Backend.
+func (b *EngineBackend) Name() string { return b.name }
+
+// Engine exposes the wrapped engine (tests inspect per-replica
+// execution counts through it).
+func (b *EngineBackend) Engine() *serve.Engine { return b.eng }
+
+// statusError is an HTTP backend failure carrying the replica's status
+// code, so the router can tell client errors (no failover: every replica
+// would reject identically) from replica failures (fail over).
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.msg) }
+
+// isHTTPClientError reports whether err is a remote replica's 4xx.
+func isHTTPClientError(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status >= 400 && se.status < 500
+}
+
+// HTTPBackend is a remote arch21d replica reached over its HTTP API
+// (GET /run/{id} to serve, GET /healthz to probe).
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend points at an arch21d base address ("localhost:8021",
+// ":8021", or a full http:// URL).
+func NewHTTPBackend(addr string) *HTTPBackend {
+	base := strings.TrimSuffix(addr, "/")
+	if strings.HasPrefix(base, ":") {
+		base = "localhost" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &HTTPBackend{
+		base: base,
+		client: &http.Client{
+			// Strictly above the router's per-attempt timeout: the router
+			// must be the layer that abandons a slow attempt (it knows how
+			// to fail over and eject); this deadline only reclaims the
+			// abandoned goroutine's connection eventually.
+			Timeout: DefaultTimeout + time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+// runEnvelope is the slice of the replica's /run/{id} JSON envelope the
+// router needs to reconstruct a serve.Response (full tables stay on the
+// replica; sweeps aggregate from headline + findings).
+type runEnvelope struct {
+	ID       string      `json:"id"`
+	Params   core.Params `json:"params"`
+	Key      string      `json:"key"`
+	CacheHit bool        `json:"cache_hit"`
+	Shared   bool        `json:"shared"`
+	Headline *float64    `json:"headline"`
+	Findings []string    `json:"findings"`
+}
+
+// Do implements Backend: GET /run/{id}?param=... against the replica.
+func (b *HTTPBackend) Do(id string, p core.Params) (serve.Response, error) {
+	t0 := time.Now()
+	q := url.Values{}
+	for _, a := range p.Assignments() {
+		q.Add("param", a)
+	}
+	u := b.base + "/run/" + url.PathEscape(id)
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := b.client.Get(u)
+	if err != nil {
+		return serve.Response{}, fmt.Errorf("router: %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return serve.Response{}, fmt.Errorf("router: %s /run/%s: %w", b.base, id,
+			&statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body))})
+	}
+	var env runEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return serve.Response{}, fmt.Errorf("router: %s: bad envelope: %v", b.base, err)
+	}
+	return serve.Response{
+		ID:       env.ID,
+		Params:   env.Params,
+		Key:      env.Key,
+		CacheHit: env.CacheHit,
+		Shared:   env.Shared,
+		Result:   core.Result{Headline: env.Headline, Findings: env.Findings},
+		Latency:  time.Since(t0),
+	}, nil
+}
+
+// Check implements Backend: GET /healthz with a short deadline.
+func (b *HTTPBackend) Check() error {
+	req, err := http.NewRequest(http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	cl := &http.Client{Timeout: 2 * time.Second, Transport: b.client.Transport}
+	resp, err := cl.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: %s healthz: HTTP %d", b.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.base }

@@ -1,0 +1,90 @@
+package router
+
+// The routing front-end's HTTP face. arch21d -peers mounts this in place
+// of a local engine's handler: /run/{id} routes each request to the
+// replica owning its cache key, /stats reports router counters and
+// per-backend health, /experiments and /healthz serve locally (the
+// registry is compiled in; the front-end's liveness is its own). POST
+// /sweep is mounted separately via sweep.Handler(router), which fans
+// grid points out through the same routing path.
+//
+// The routed /run envelope is JSON-only and carries headline + findings
+// but not the rendered report (a remote replica's envelope is not
+// re-fetched in full); ?format=text|csv is rejected with a pointer at
+// the replicas, which serve every format.
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// routedEnvelope is the front-end's /run/{id} JSON response: the
+// replica's outcome plus which backend served it.
+type routedEnvelope struct {
+	ID        string      `json:"id"`
+	Params    core.Params `json:"params,omitempty"`
+	Key       string      `json:"key,omitempty"`
+	CacheHit  bool        `json:"cache_hit"`
+	Shared    bool        `json:"shared"`
+	LatencyMS float64     `json:"latency_ms"`
+	Headline  *float64    `json:"headline,omitempty"`
+	Findings  []string    `json:"findings,omitempty"`
+}
+
+// Handler returns the routing front-end's HTTP API.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, req *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, serve.ExperimentInfos())
+	})
+	mux.HandleFunc("GET /run/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if f := req.URL.Query().Get("format"); f != "" && f != "json" {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "the routing front-end serves JSON envelopes only; request format=" + f + " from a replica directly"})
+			return
+		}
+		id := req.PathValue("id")
+		params, err := core.ParseParams(req.URL.Query()["param"])
+		if err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		resp, err := r.ServeWith(id, params)
+		if err != nil {
+			status := http.StatusBadGateway
+			var se *statusError
+			switch {
+			case errors.Is(err, serve.ErrUnknownExperiment):
+				status = http.StatusNotFound
+			case errors.Is(err, serve.ErrBadParams):
+				status = http.StatusBadRequest
+			case errors.As(err, &se):
+				status = se.status
+			case errors.Is(err, ErrNoBackends):
+				status = http.StatusServiceUnavailable
+			}
+			serve.WriteJSON(w, status, map[string]string{"error": err.Error()})
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, routedEnvelope{
+			ID:        resp.ID,
+			Params:    resp.Params,
+			Key:       resp.Key,
+			CacheHit:  resp.CacheHit,
+			Shared:    resp.Shared,
+			LatencyMS: resp.Latency.Seconds() * 1e3,
+			Headline:  resp.Result.Headline,
+			Findings:  resp.Result.Findings,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, r.Metrics())
+	})
+	return mux
+}

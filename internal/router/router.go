@@ -1,0 +1,322 @@
+// Package router turns the single-daemon serving stack into a shardable
+// service: a consistent-hash request router fronting N serve backends —
+// in-process serve.Engine shards and/or remote arch21d replicas over HTTP.
+// Placement is replica-aware: the engine cache key for an (experiment,
+// assignment) pair hashes to a position on an internal/cluster consistent
+// ring, so every request for the same memoized entry lands on the same
+// replica (each replica's tier-1 cache stays hot for exactly its key
+// range, and a sweep's grid points execute exactly once cluster-wide).
+// Per-backend health accounting ejects a replica after consecutive
+// failures and lazily re-admits it after a successful probe; requests to
+// an unhealthy or failing owner fail over — bounded — to the next
+// distinct ring positions, so one wedged replica degrades capacity
+// instead of availability. The router satisfies sweep.Server, so POST
+// /sweep fans out through it unchanged, and internal/load measures it
+// like any other target.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// ErrNoBackends is returned when every candidate replica for a key is
+// ejected or failing.
+var ErrNoBackends = errors.New("router: no healthy backend")
+
+// errAttemptTimeout marks one attempt abandoned because the backend did
+// not answer within Config.Timeout (a wedged replica must not stall the
+// caller — or an entire sweep).
+var errAttemptTimeout = errors.New("router: attempt timed out")
+
+// DefaultTimeout is the default per-attempt bound, matching arch21d's
+// write timeout for slow cold runs. HTTPBackend's transport deadline
+// sits above it so the router — which knows how to fail over and eject —
+// is always the layer that classifies slowness, not the HTTP client.
+const DefaultTimeout = 5 * time.Minute
+
+// Config parameterizes a Router.
+type Config struct {
+	// VNodes is the ring points per backend (default 64).
+	VNodes int
+	// Retries bounds failover attempts after the first (default: one per
+	// remaining backend, i.e. len(backends)-1).
+	Retries int
+	// Timeout bounds one attempt's wall time (default 5m, matching the
+	// daemon's write timeout for slow cold runs — set it above the
+	// slowest legitimate cold execution, because an expiry is treated as
+	// a replica failure: the router abandons the attempt, re-executes on
+	// the successor, and counts it toward ejection; the abandoned call's
+	// goroutine drains in the background when the backend eventually
+	// answers).
+	Timeout time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// backend (default 3).
+	FailThreshold int
+	// ProbeAfter is how long an ejected backend waits before the next
+	// request to it triggers a health probe for re-admission (default 1s).
+	ProbeAfter time.Duration
+	// now is the clock; replaceable in tests.
+	now func() time.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// backendState is one backend's health accounting, guarded by its own
+// mutex (health bookkeeping must not serialize request fan-out).
+type backendState struct {
+	mu          sync.Mutex
+	consecFails int
+	ejected     bool
+	nextProbe   time.Time
+
+	requests  int64
+	failures  int64
+	ejections int64
+}
+
+// Router routes requests to their owning replica by consistent hash.
+type Router struct {
+	cfg      Config
+	backends []Backend
+	ring     *cluster.ConsistentHash
+	state    []backendState
+
+	// Request-path counters are atomics: a tier-1 hit on an in-process
+	// backend is sub-microsecond, so a shared mutex here would serialize
+	// exactly the traffic the router exists to spread.
+	requests  atomic.Int64
+	failovers atomic.Int64
+	exhausted atomic.Int64
+}
+
+// New builds a router over the given backends. At least one is required.
+func New(backends []Backend, cfg Config) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("router: need at least one backend")
+	}
+	cfg.setDefaults()
+	if cfg.Retries <= 0 {
+		cfg.Retries = len(backends) - 1
+	}
+	return &Router{
+		cfg:      cfg,
+		backends: backends,
+		ring:     cluster.NewConsistentHash(len(backends), cfg.VNodes),
+		state:    make([]backendState, len(backends)),
+	}, nil
+}
+
+// RouteKey derives the placement key for one (experiment, assignment)
+// pair: the engine's cache key when the ID is registered (so placement
+// agrees with memoization — explicit-default assignments route with the
+// bare-ID traffic), otherwise the ID plus sorted assignments. Placement
+// must be derivable without asking a replica, so resolution failures
+// fall back to the ad-hoc form and let the owning replica report the
+// schema error.
+func RouteKey(id string, p core.Params) string {
+	if exp, ok := core.ByID(id); ok && len(p) > 0 {
+		if resolved, err := exp.ResolveParams(p); err == nil {
+			return exp.CacheKey(resolved)
+		}
+	}
+	as := p.Assignments()
+	if len(as) == 0 {
+		return id
+	}
+	return id + "?" + strings.Join(as, "&")
+}
+
+// Owner returns the backend index that owns a routing key (ignoring
+// health) — what placement tests and rebalancing math inspect.
+func (r *Router) Owner(key string) int { return r.ring.Place(cluster.HashString(key)) }
+
+// ServeWith routes one request to the replica owning its cache key,
+// failing over along the ring on error, ejection, or timeout. It
+// satisfies sweep.Server, so sweeps fan out through the router unchanged.
+func (r *Router) ServeWith(id string, p core.Params) (serve.Response, error) {
+	r.requests.Add(1)
+
+	key := RouteKey(id, p)
+	chain := r.ring.PlaceK(cluster.HashString(key), 1+r.cfg.Retries)
+	var lastErr error
+	for attempt, b := range chain {
+		if !r.admit(b) {
+			continue
+		}
+		if attempt > 0 {
+			r.failovers.Add(1)
+		}
+		resp, err := r.do(b, id, p)
+		if err == nil {
+			r.noteSuccess(b)
+			return resp, nil
+		}
+		// Client errors are the caller's fault, not the replica's: do not
+		// eject, do not fail over (every replica shares the registry and
+		// would reject identically).
+		if errors.Is(err, serve.ErrUnknownExperiment) || errors.Is(err, serve.ErrBadParams) || isHTTPClientError(err) {
+			r.noteSuccess(b)
+			return serve.Response{}, err
+		}
+		r.noteFailure(b)
+		lastErr = err
+	}
+	r.exhausted.Add(1)
+	if lastErr == nil {
+		return serve.Response{}, fmt.Errorf("%w for key %q (all ejected)", ErrNoBackends, key)
+	}
+	return serve.Response{}, fmt.Errorf("router: key %q failed on all %d candidates: %w", key, len(chain), lastErr)
+}
+
+// Serve routes a default-parameter request.
+func (r *Router) Serve(id string) (serve.Response, error) { return r.ServeWith(id, nil) }
+
+// do runs one attempt under the per-attempt timeout. A backend that
+// neither answers nor errors within the window is treated as failed;
+// the abandoned goroutine drains whenever the backend wakes up. The
+// goroutine-per-attempt is the price of hang protection for synchronous
+// backends; the timer is stopped eagerly so a fast hit does not leave a
+// multi-minute timer live until GC.
+func (r *Router) do(b int, id string, p core.Params) (serve.Response, error) {
+	type outcome struct {
+		resp serve.Response
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, err := r.backends[b].Do(id, p)
+		ch <- outcome{resp, err}
+	}()
+	timer := time.NewTimer(r.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.resp, out.err
+	case <-timer.C:
+		return serve.Response{}, fmt.Errorf("%w after %v on %s", errAttemptTimeout, r.cfg.Timeout, r.backends[b].Name())
+	}
+}
+
+// admit reports whether backend b may take a request now. Ejected
+// backends stay dark until ProbeAfter has elapsed, then one Check probe
+// decides: success re-admits, failure re-arms the probe timer.
+func (r *Router) admit(b int) bool {
+	st := &r.state[b]
+	st.mu.Lock()
+	if !st.ejected {
+		st.requests++
+		st.mu.Unlock()
+		return true
+	}
+	now := r.cfg.now()
+	if now.Before(st.nextProbe) {
+		st.mu.Unlock()
+		return false
+	}
+	// Re-arm before probing so concurrent callers don't stampede the
+	// sick backend with probes.
+	st.nextProbe = now.Add(r.cfg.ProbeAfter)
+	st.mu.Unlock()
+
+	if err := r.backends[b].Check(); err != nil {
+		return false
+	}
+	st.mu.Lock()
+	st.ejected = false
+	st.consecFails = 0
+	st.requests++
+	st.mu.Unlock()
+	return true
+}
+
+func (r *Router) noteSuccess(b int) {
+	st := &r.state[b]
+	st.mu.Lock()
+	st.consecFails = 0
+	st.mu.Unlock()
+}
+
+func (r *Router) noteFailure(b int) {
+	st := &r.state[b]
+	st.mu.Lock()
+	st.failures++
+	st.consecFails++
+	if !st.ejected && st.consecFails >= r.cfg.FailThreshold {
+		st.ejected = true
+		st.ejections++
+		st.nextProbe = r.cfg.now().Add(r.cfg.ProbeAfter)
+	}
+	st.mu.Unlock()
+}
+
+// BackendStatus is one backend's health row in Metrics.
+type BackendStatus struct {
+	Name      string `json:"name"`
+	Ejected   bool   `json:"ejected"`
+	Requests  int64  `json:"requests"`
+	Failures  int64  `json:"failures"`
+	Ejections int64  `json:"ejections"`
+}
+
+// Metrics is a point-in-time router snapshot.
+type Metrics struct {
+	// Backends is the replica count; VNodes the ring points per replica.
+	Backends int `json:"backends"`
+	VNodes   int `json:"vnodes"`
+	// Requests counts routed requests; Failovers attempts that moved past
+	// the owner; Exhausted requests that failed on every candidate.
+	Requests  int64 `json:"requests"`
+	Failovers int64 `json:"failovers"`
+	Exhausted int64 `json:"exhausted"`
+	// Health is per-backend status, in backend order.
+	Health []BackendStatus `json:"health"`
+}
+
+// Metrics returns current counters and per-backend health.
+func (r *Router) Metrics() Metrics {
+	m := Metrics{
+		Backends:  len(r.backends),
+		VNodes:    r.cfg.VNodes,
+		Requests:  r.requests.Load(),
+		Failovers: r.failovers.Load(),
+		Exhausted: r.exhausted.Load(),
+	}
+	for i := range r.backends {
+		st := &r.state[i]
+		st.mu.Lock()
+		m.Health = append(m.Health, BackendStatus{
+			Name:      r.backends[i].Name(),
+			Ejected:   st.ejected,
+			Requests:  st.requests,
+			Failures:  st.failures,
+			Ejections: st.ejections,
+		})
+		st.mu.Unlock()
+	}
+	return m
+}

@@ -11,6 +11,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -192,8 +193,15 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 // Set stores a payload under key with the cache's TTL.
 func (c *Cache) Set(key string, val []byte) {
+	c.SetStamped(key, val, c.now().UnixNano())
+}
+
+// SetStamped stores a payload with an explicit insertion time — how a
+// tier-2 warm start preserves entry age so a configured TTL keeps its
+// meaning across restarts.
+func (c *Cache) SetStamped(key string, val []byte, addedUnixNano int64) {
 	e := cacheEntry{
-		addedUnixNano: c.now().UnixNano(),
+		addedUnixNano: addedUnixNano,
 		ttlNanos:      int64(c.ttl),
 		val:           val,
 	}
@@ -247,6 +255,45 @@ func (c *Cache) DeletePrefix(prefix string) int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// KV is one cache entry's key, payload, and insertion time, as returned
+// by Dump. The timestamp rides into tier-2 snapshots so a warm-started
+// entry keeps its age — a TTL bounds an entry's total life, not its life
+// since the latest restart.
+type KV struct {
+	Key           string
+	Val           []byte
+	AddedUnixNano int64
+}
+
+// Dump copies every live entry's key and payload (shard by shard, each
+// under its own lock — a consistent-enough point-in-time view for
+// snapshotting; entries are sorted by key so dumps are deterministic).
+// Expired-but-uncollected entries are skipped. The returned values are
+// copies and safe to retain.
+func (c *Cache) Dump() []KV {
+	now := c.now().UnixNano()
+	var out []KV
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, raw := range s.entries {
+			e, good := decodeEntry(raw)
+			if !good {
+				continue
+			}
+			if e.ttlNanos > 0 && now-e.addedUnixNano > e.ttlNanos {
+				continue
+			}
+			val := make([]byte, len(e.val))
+			copy(val, e.val)
+			out = append(out, KV{Key: key, Val: val, AddedUnixNano: e.addedUnixNano})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Clear drops every entry (counters are preserved).

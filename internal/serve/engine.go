@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +49,13 @@ type Config struct {
 	// registered in core) serves default (nil-params) requests fine but
 	// fails with ErrUnknownExperiment as soon as params are passed.
 	RunnerWith func(id string, p core.Params) (core.Result, error)
+	// SnapshotPath, when set, enables the tier-2 disk cache: NewEngine
+	// loads the snapshot file into the in-memory tier (a warm start —
+	// entries that fail to decode as Results are skipped), SaveSnapshot
+	// rewrites it, and Invalidate/Reset rewrite or remove it so the disk
+	// tier stays invalidation-coherent with the memory tier. A missing or
+	// corrupt file is never fatal.
+	SnapshotPath string
 }
 
 // Engine serves experiment results concurrently: cache first, then
@@ -57,6 +66,17 @@ type Engine struct {
 	fg    flightGroup
 	pool  *Pool
 	run   func(id string, p core.Params) (core.Result, error)
+
+	// snapMu serializes tier-2 snapshot writes (SaveSnapshot, the
+	// invalidation-coherence rewrites) so concurrent savers cannot
+	// interleave rename order with stale dumps.
+	snapMu        sync.Mutex
+	snapPath      string
+	snapLoaded    atomic.Int64
+	snapSkipped   atomic.Int64
+	snapSaves     atomic.Int64
+	snapSaveFails atomic.Int64
+	snapLastSave  atomic.Int64 // unix nanos
 
 	requests   atomic.Int64
 	hits       atomic.Int64
@@ -125,14 +145,75 @@ func NewEngine(cfg Config) *Engine {
 			run = runRegistry
 		}
 	}
-	return &Engine{
-		cache:   NewCache(cfg.Shards, cfg.TTL),
-		pool:    NewPool(cfg.Workers, cfg.Queue),
-		run:     run,
-		hitLat:  stats.NewLatencyRecorder(cfg.SampleCap, 1),
-		coldLat: stats.NewLatencyRecorder(cfg.SampleCap, 2),
-		allLat:  stats.NewLatencyRecorder(cfg.SampleCap, 3),
-		started: time.Now(),
+	e := &Engine{
+		cache:    NewCache(cfg.Shards, cfg.TTL),
+		pool:     NewPool(cfg.Workers, cfg.Queue),
+		run:      run,
+		snapPath: cfg.SnapshotPath,
+		hitLat:   stats.NewLatencyRecorder(cfg.SampleCap, 1),
+		coldLat:  stats.NewLatencyRecorder(cfg.SampleCap, 2),
+		allLat:   stats.NewLatencyRecorder(cfg.SampleCap, 3),
+		started:  time.Now(),
+	}
+	if e.snapPath != "" {
+		e.loadSnapshot()
+	}
+	return e
+}
+
+// loadSnapshot warm-starts the in-memory tier from the tier-2 file.
+// Entries whose payload does not decode as a Result are skipped (they
+// would be dropped at first Get anyway); a corrupt file contributes its
+// readable prefix. Never fatal.
+func (e *Engine) loadSnapshot() {
+	kvs, err := ReadSnapshotFile(e.snapPath)
+	_ = err // corruption already yielded the loadable prefix
+	for _, kv := range kvs {
+		if _, derr := core.DecodeResult(kv.Val); derr != nil {
+			e.snapSkipped.Add(1)
+			continue
+		}
+		// Preserve the entry's original insertion time: a TTL bounds an
+		// entry's total life, and a restart must not renew it.
+		e.cache.SetStamped(kv.Key, kv.Val, kv.AddedUnixNano)
+		e.snapLoaded.Add(1)
+	}
+}
+
+// SaveSnapshot writes the in-memory tier to the tier-2 file (atomic
+// replace). It is a no-op without a configured SnapshotPath.
+func (e *Engine) SaveSnapshot() error {
+	if e.snapPath == "" {
+		return nil
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if err := WriteSnapshotFile(e.snapPath, e.cache.Dump()); err != nil {
+		e.snapSaveFails.Add(1)
+		return err
+	}
+	e.snapSaves.Add(1)
+	e.snapLastSave.Store(time.Now().UnixNano())
+	return nil
+}
+
+// dropOrSaveSnapshot keeps the tier-2 file coherent after a deletion:
+// rewrite it from the post-delete memory tier, and if that fails (disk
+// full), remove the file outright — a restart must start cold rather
+// than resurrect entries that were dropped on purpose. Every failed
+// maintenance op counts in SnapshotStats.SaveFails; if even the remove
+// fails (directory unwritable), the counter is the only signal left, so
+// operators should alert on it.
+func (e *Engine) dropOrSaveSnapshot() {
+	if e.snapPath == "" {
+		return
+	}
+	if err := e.SaveSnapshot(); err != nil {
+		e.snapMu.Lock()
+		if rerr := os.Remove(e.snapPath); rerr != nil && !os.IsNotExist(rerr) {
+			e.snapSaveFails.Add(1)
+		}
+		e.snapMu.Unlock()
 	}
 }
 
@@ -257,6 +338,26 @@ type Metrics struct {
 	HitLatency  stats.LatencySnapshot `json:"hit_latency"`
 	ColdLatency stats.LatencySnapshot `json:"cold_latency"`
 	AllLatency  stats.LatencySnapshot `json:"all_latency"`
+	// Snapshot reports the tier-2 disk cache (zero value when disabled).
+	Snapshot SnapshotStats `json:"snapshot"`
+}
+
+// SnapshotStats reports the tier-2 disk cache's activity.
+type SnapshotStats struct {
+	// Enabled reports whether a SnapshotPath is configured.
+	Enabled bool `json:"enabled"`
+	// Loaded counts entries warm-started into the memory tier at boot;
+	// Skipped counts boot entries dropped because their payload did not
+	// decode as a Result.
+	Loaded  int64 `json:"loaded"`
+	Skipped int64 `json:"skipped"`
+	// Saves counts snapshot writes; SaveFails counts failed ones (after
+	// a failed coherence rewrite the file is removed so a restart starts
+	// cold instead of resurrecting dropped entries); LastSaveUnixNano
+	// stamps the latest success.
+	Saves            int64 `json:"saves"`
+	SaveFails        int64 `json:"save_fails"`
+	LastSaveUnixNano int64 `json:"last_save_unix_nano,omitempty"`
 }
 
 // Metrics returns current counters and latency snapshots.
@@ -272,6 +373,14 @@ func (e *Engine) Metrics() Metrics {
 		HitLatency:    e.hitLat.Snapshot(),
 		ColdLatency:   e.coldLat.Snapshot(),
 		AllLatency:    e.allLat.Snapshot(),
+		Snapshot: SnapshotStats{
+			Enabled:          e.snapPath != "",
+			Loaded:           e.snapLoaded.Load(),
+			Skipped:          e.snapSkipped.Load(),
+			Saves:            e.snapSaves.Load(),
+			SaveFails:        e.snapSaveFails.Load(),
+			LastSaveUnixNano: e.snapLastSave.Load(),
+		},
 	}
 }
 
@@ -280,15 +389,26 @@ func (e *Engine) Metrics() Metrics {
 func (e *Engine) Executions() int64 { return e.executions.Load() }
 
 // Invalidate drops an experiment's memoized results: the bare-ID entry
-// and every parameterized variant (keys "id?..."). It reports whether any
+// and every parameterized variant (keys "id?...") — from both tiers: the
+// tier-2 snapshot is rewritten from the post-delete memory tier, so a
+// restart cannot resurrect invalidated entries. It reports whether any
 // entry was present.
 func (e *Engine) Invalidate(id string) bool {
 	n := e.cache.DeletePrefix(id + "?")
-	return e.cache.Delete(id) || n > 0
+	present := e.cache.Delete(id) || n > 0
+	if present {
+		e.dropOrSaveSnapshot()
+	}
+	return present
 }
 
-// Reset drops every memoized result.
-func (e *Engine) Reset() { e.cache.Clear() }
+// Reset drops every memoized result from both tiers (the tier-2 snapshot
+// is rewritten empty — or removed if the rewrite fails — so a restart
+// starts cold).
+func (e *Engine) Reset() {
+	e.cache.Clear()
+	e.dropOrSaveSnapshot()
+}
 
 // Close shuts down the worker pool. Serve must not be called after Close.
 func (e *Engine) Close() { e.pool.Close() }

@@ -34,12 +34,28 @@ type ParamInfo struct {
 	Doc     string  `json:"doc,omitempty"`
 }
 
-// experimentInfo is one /experiments row.
-type experimentInfo struct {
+// ExperimentInfo is one /experiments row. Exported so the routing
+// front-end (internal/router) serves the byte-identical envelope a
+// replica would.
+type ExperimentInfo struct {
 	ID     string      `json:"id"`
 	Title  string      `json:"title"`
 	Claim  string      `json:"claim"`
 	Params []ParamInfo `json:"params,omitempty"`
+}
+
+// ExperimentInfos renders the whole registry in /experiments wire form.
+func ExperimentInfos() []ExperimentInfo {
+	var list []ExperimentInfo
+	for _, ex := range core.Registry() {
+		list = append(list, ExperimentInfo{
+			ID:     ex.ID,
+			Title:  ex.Title,
+			Claim:  ex.PaperClaim,
+			Params: ParamInfos(ex.Params),
+		})
+	}
+	return list
 }
 
 // ParamInfos converts a declared schema to its wire form.
@@ -79,16 +95,7 @@ func (e *Engine) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
-		var list []experimentInfo
-		for _, ex := range core.Registry() {
-			list = append(list, experimentInfo{
-				ID:     ex.ID,
-				Title:  ex.Title,
-				Claim:  ex.PaperClaim,
-				Params: ParamInfos(ex.Params),
-			})
-		}
-		writeJSON(w, http.StatusOK, list)
+		writeJSON(w, http.StatusOK, ExperimentInfos())
 	})
 	mux.HandleFunc("GET /run/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
@@ -144,10 +151,15 @@ func (e *Engine) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// WriteJSON writes v as an indented JSON response — shared by the
+// engine's handlers and the routing front-end so both faces of the API
+// encode identically.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) { WriteJSON(w, status, v) }

@@ -57,7 +57,7 @@ func TestExperimentsListing(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("experiments: %d", resp.StatusCode)
 	}
-	var list []experimentInfo
+	var list []ExperimentInfo
 	if err := json.Unmarshal([]byte(body), &list); err != nil {
 		t.Fatalf("experiments JSON: %v", err)
 	}

@@ -1,0 +1,71 @@
+package sweep
+
+// Native Go fuzzing over axis/spec parsing — the surface POST /sweep
+// hands attacker-controlled strings to. ParseAxis must never panic, and
+// every accepted axis must respect the expansion bounds (this is the
+// machinery a NaN range once turned into an unbounded loop). Seeds come
+// from the forms the existing table tests cover.
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzParseAxis(f *testing.F) {
+	for _, seed := range []string{
+		"f=0.9:0.99:0.03",
+		"bces=64,256",
+		"gens=8",
+		"f=0.5",
+		"tile=256,1024,4096,16384,65536",
+		"operands=1:8:1",
+		"f=NaN:1:0.1",
+		"f=0:Inf:1",
+		"f=0:1:0",
+		"x=1:0:1",
+		"=5",
+		"noequals",
+		"f=1:2",
+		"f=1:2:3:4",
+		"f=1e308:2e308:1e300",
+		"f= 0.9 : 0.99 : 0.03 ",
+		"a=-1,-2,-3",
+		"b=,,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ax, err := ParseAxis(s)
+		if err != nil {
+			return
+		}
+		if ax.Name == "" {
+			t.Fatalf("accepted axis %q has empty name", s)
+		}
+		if len(ax.Values) == 0 {
+			t.Fatalf("accepted axis %q has no values", s)
+		}
+		if len(ax.Values) > MaxPoints+1 {
+			t.Fatalf("accepted axis %q expanded to %d values (cap %d)", s, len(ax.Values), MaxPoints)
+		}
+		for _, v := range ax.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted axis %q carries non-finite value %v", s, v)
+			}
+		}
+		// The same string must parse as part of a spec, and the spec's
+		// grid must respect the global cap (one axis: grid == values).
+		sp, err := ParseSpec("E7", []string{s})
+		if err != nil {
+			// ParseSpec may reject what ParseAxis accepts only via the
+			// incremental grid cap.
+			if len(ax.Values) <= MaxPoints {
+				t.Fatalf("ParseSpec rejected a cap-respecting axis %q: %v", s, err)
+			}
+			return
+		}
+		if got := len(sp.Grid()); got != len(ax.Values) {
+			t.Fatalf("1-axis grid size %d != axis values %d for %q", got, len(ax.Values), s)
+		}
+	})
+}

@@ -13,7 +13,6 @@ import (
 	"net/http"
 
 	"repro/internal/core"
-	"repro/internal/serve"
 )
 
 // Request is the POST /sweep body.
@@ -51,9 +50,10 @@ type SummaryLine struct {
 	} `json:"summary"`
 }
 
-// Handler returns the POST /sweep endpoint backed by the engine. Register
-// it as "POST /sweep".
-func Handler(eng *serve.Engine) http.Handler {
+// Handler returns the POST /sweep endpoint backed by the server (an
+// engine, or a router fanning points out to their owning replicas).
+// Register it as "POST /sweep".
+func Handler(srv Server) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// A sweep request is a short ID plus a handful of axis strings;
 		// cap the body so oversized payloads fail here instead of
@@ -100,7 +100,7 @@ func Handler(eng *serve.Engine) http.Handler {
 			return nil
 		}
 
-		sum, err := Run(eng, sp, func(pt Point) error {
+		sum, err := Run(srv, sp, func(pt Point) error {
 			// A gone client must stop the sweep, not leave it grinding
 			// through the rest of the grid; Run aborts queued points on
 			// the first emit error.

@@ -148,6 +148,16 @@ func ParseAxis(s string) (Axis, error) {
 		}
 		ax.Values = []float64{v}
 	}
+	// Ranges reject non-finite bounds above; list and scalar axes must
+	// too — ParseFloat accepts "NaN"/"Inf", no declared parameter admits
+	// them (ParamSpec.Check requires finite), and a NaN would otherwise
+	// ride as far as schema validation before failing (found by
+	// FuzzParseAxis).
+	for _, v := range ax.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Axis{}, fmt.Errorf("sweep: values must be finite in %q", s)
+		}
+	}
 	return ax, nil
 }
 
@@ -239,6 +249,15 @@ func (sp Spec) Grid() []core.Params {
 	return grid
 }
 
+// Server is the serving surface a sweep fans out over: anything that can
+// serve one (experiment, assignment) point. The in-process serve.Engine
+// satisfies it, and so does router.Router — which is how a POST /sweep
+// against a routing front-end lands each grid point on its owning
+// replica.
+type Server interface {
+	ServeWith(id string, p core.Params) (serve.Response, error)
+}
+
 // Point is one completed grid point, as streamed to the caller.
 type Point struct {
 	// Index is the point's position in row-major grid order.
@@ -273,13 +292,13 @@ type Summary struct {
 	Aggregate core.Result
 }
 
-// Run executes the sweep on the engine, streaming each completed point to
-// emit (in grid order) and returning the aggregate. Points run
-// concurrently — bounded by Spec.Parallelism and, for cold compute, by
-// the engine's worker pool — but emission is strictly ordered, so output
-// is deterministic. A nil emit just skips streaming. The first point
-// error aborts the sweep.
-func Run(eng *serve.Engine, sp Spec, emit func(Point) error) (Summary, error) {
+// Run executes the sweep on the server (an engine or a router), streaming
+// each completed point to emit (in grid order) and returning the
+// aggregate. Points run concurrently — bounded by Spec.Parallelism and,
+// for cold compute, by the engine's worker pool — but emission is
+// strictly ordered, so output is deterministic. A nil emit just skips
+// streaming. The first point error aborts the sweep.
+func Run(srv Server, sp Spec, emit func(Point) error) (Summary, error) {
 	exp, err := sp.Validate()
 	if err != nil {
 		return Summary{}, err
@@ -326,7 +345,7 @@ func Run(eng *serve.Engine, sp Spec, emit func(Point) error) (Summary, error) {
 					close(done[i])
 					continue
 				}
-				resp, err := eng.ServeWith(sp.ID, grid[i])
+				resp, err := srv.ServeWith(sp.ID, grid[i])
 				results[i] = outcome{resp, err}
 				close(done[i])
 			}

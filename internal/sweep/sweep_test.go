@@ -121,6 +121,10 @@ func TestParseAxisRejectsNonFiniteRange(t *testing.T) {
 		"f=NaN:1:0.1", "f=0:NaN:0.1", "f=0:1:NaN",
 		"f=Inf:1:0.1", "f=0:Inf:0.1", "f=0:1:Inf",
 		"f=-Inf:1:0.1", "f=nan:nan:nan",
+		// Scalar and list forms must reject non-finite values too (found
+		// by FuzzParseAxis): no declared parameter admits them, so they
+		// must fail at parse, not ride to schema validation.
+		"f=NaN", "f=Inf", "f=-Inf", "f=1,NaN,3", "f=Inf,2",
 	} {
 		done := make(chan error, 1)
 		go func() {
