@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep \
-	loadtest bench-baseline bench-check cover lint fuzz fuzz-smoke clean
+	loadtest loadtest-colocation bench-baseline bench-check cover lint fuzz fuzz-smoke clean
 
 all: check
 
@@ -21,10 +21,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# docs-check fails when DESIGN.md §2 drifts from the experiment registry
-# or a package loses its godoc comment.
+# docs-check fails when DESIGN.md §2 drifts from the experiment registry,
+# §8 drifts from the admit package's policy/class lists, or a package
+# loses its godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestQoSDocsCoverAdmit' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race
@@ -45,17 +46,28 @@ DURATION ?= 5s
 loadtest:
 	$(GO) run ./cmd/arch21 loadtest -scenario $(SCENARIO) -duration $(DURATION)
 
+# loadtest-colocation runs the QoS colocation scenario (warmed
+# interactive hammer + concurrent batch sweep-storm) and writes the
+# per-class BENCH report — the artifact CI uploads (informational until
+# a colocation baseline is committed).
+loadtest-colocation:
+	$(GO) run ./cmd/arch21 loadtest -scenario colocation -duration 2s -maxprocs 1 -json BENCH_colocation.json
+
 # bench-baseline refreshes the committed perf baseline CI's bench-smoke
-# job gates against (-maxprocs 1 matches the CI measurement, so the
-# throughput gate engages across machines). Run it on an idle machine,
-# eyeball the diff, and commit the result.
+# job gates against: warm-hammer plus the routed cluster-scatter
+# scenario, merged into one two-report file (-maxprocs 1 matches the CI
+# measurement, so the throughput gate engages across machines). Run it
+# on an idle machine, eyeball the diff, and commit the result.
 bench-baseline:
 	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer -duration 2s -maxprocs 1 -json BENCH_baseline.json
+	$(GO) run ./cmd/arch21 loadtest -scenario cluster-scatter -replicas 3 -duration 2s -maxprocs 1 -json BENCH_baseline.json -append
 
-# bench-check mirrors CI's bench-smoke gate locally.
+# bench-check mirrors CI's bench-smoke gate locally (both gated
+# scenarios).
 bench-check:
 	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer -duration 2s -maxprocs 1 -json /tmp/bench.json
-	$(GO) run ./cmd/arch21 benchcmp -tolerance 0.25 BENCH_baseline.json /tmp/bench.json
+	$(GO) run ./cmd/arch21 loadtest -scenario cluster-scatter -replicas 3 -duration 2s -maxprocs 1 -json /tmp/bench-scatter.json
+	$(GO) run ./cmd/arch21 benchcmp -tolerance 0.25 BENCH_baseline.json /tmp/bench.json /tmp/bench-scatter.json
 
 # cover prints total statement coverage (CI enforces the floor).
 cover:

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -39,7 +40,7 @@ func benchExperiment(b *testing.B, id string) {
 	var sink int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := e.Run()
+		res := e.Run(context.Background())
 		sink += len(res.Render())
 	}
 	if sink == 0 {
@@ -309,7 +310,7 @@ func BenchmarkSweepColdGrid(b *testing.B) {
 	sp := sweepBenchSpec(b)
 	for i := 0; i < b.N; i++ {
 		e.Reset()
-		if _, err := sweep.Run(e, sp, nil); err != nil {
+		if _, err := sweep.Run(context.Background(), e, sp, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -323,12 +324,12 @@ func BenchmarkSweepWarmGrid(b *testing.B) {
 	e := serve.NewEngine(serve.Config{Workers: 4})
 	defer e.Close()
 	sp := sweepBenchSpec(b)
-	if _, err := sweep.Run(e, sp, nil); err != nil {
+	if _, err := sweep.Run(context.Background(), e, sp, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sum, err := sweep.Run(e, sp, nil)
+		sum, err := sweep.Run(context.Background(), e, sp, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/load"
 	"repro/internal/router"
 	"repro/internal/serve"
@@ -30,6 +31,8 @@ func cmdLoadtest(args []string) {
 	httpAddr := fs.String("http", "", "load a live arch21d at this address instead of the in-process engine")
 	replicas := fs.Int("replicas", 0, "front N in-process engine replicas with a consistent-hash router and load that (0 = single engine)")
 	jsonOut := fs.String("json", "", "write the BENCH report JSON to this file")
+	appendOut := fs.Bool("append", false, "with -json: merge into an existing BENCH file (replacing a same-scenario report) instead of overwriting — how multi-scenario baselines are assembled")
+	class := fs.String("class", "", "force the class of the scenario's primary request stream: interactive or batch (default: the catalog's per-variant classes)")
 	seed := fs.Uint64("seed", 0, "override the scenario seed")
 	workers := fs.Int("workers", 4, "in-process engine worker-pool size")
 	maxprocs := fs.Int("maxprocs", 0, "pin GOMAXPROCS for the run (0 = leave alone; CI pins 1 so baselines compare across machines)")
@@ -91,12 +94,20 @@ func cmdLoadtest(args []string) {
 		tgt = load.NewEngineTarget(eng)
 	}
 
-	rep, err := load.Run(tgt, sc, load.Options{
+	opts := load.Options{
 		Duration: *duration,
 		Clients:  *clients,
 		Rate:     *rate,
 		Seed:     *seed,
-	})
+	}
+	if *class != "" {
+		c, err := admit.ParseClass(*class)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Class = &c
+	}
+	rep, err := load.Run(tgt, sc, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -120,10 +131,24 @@ func cmdLoadtest(args []string) {
 		fmtLatency(m.Latency.P99), fmtLatency(m.Latency.P999), fmtLatency(m.Latency.Max))
 	fmt.Printf("  cache       hit ratio %.3f  dedup ratio %.3f\n",
 		m.CacheHitRatio, m.DedupRatio)
+	// A colocation run's headline is the per-class split.
+	for _, cls := range []string{"interactive", "batch"} {
+		cm, ok := m.PerClass[cls]
+		if !ok || len(m.PerClass) < 2 {
+			continue
+		}
+		fmt.Printf("  [%s] %d req  %.1f req/s  p50 %s  p99 %s  errors %d\n",
+			cls, cm.Requests, cm.ThroughputRPS,
+			fmtLatency(cm.Latency.P50), fmtLatency(cm.Latency.P99), cm.Errors)
+	}
 	fmt.Printf("  calibration %.3g hash-bytes/s\n", rep.CalibrationBPS)
 
 	if *jsonOut != "" {
-		if err := load.WriteFile(*jsonOut, rep); err != nil {
+		write := func() error { return load.WriteFile(*jsonOut, rep) }
+		if *appendOut {
+			write = func() error { return load.MergeFile(*jsonOut, rep) }
+		}
+		if err := write(); err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
@@ -134,11 +159,11 @@ func cmdBenchcmp(args []string) {
 	fs := flag.NewFlagSet("benchcmp", flag.ExitOnError)
 	tolerance := fs.Float64("tolerance", 0.25, "fractional regression tolerance on gated metrics")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arch21 benchcmp [-tolerance 0.25] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: arch21 benchcmp [-tolerance 0.25] old.json new.json [more-new.json ...]")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
-	if fs.NArg() != 2 {
+	if fs.NArg() < 2 {
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -146,9 +171,16 @@ func cmdBenchcmp(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cur, err := load.ReadReports(fs.Arg(1))
-	if err != nil {
-		fatalf("%v", err)
+	// Every file after the first contributes new-side reports, so a
+	// multi-scenario baseline can be checked against per-scenario
+	// measurement files in one invocation.
+	var cur []load.Report
+	for _, path := range fs.Args()[1:] {
+		reps, err := load.ReadReports(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cur = append(cur, reps...)
 	}
 	cmp, err := load.Compare(old, cur, *tolerance)
 	if err != nil {

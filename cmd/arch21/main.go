@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -126,7 +127,7 @@ func cmdRun(args []string) {
 		if len(params) > 0 {
 			fatalf("-param applies to a single experiment, not 'all'")
 		}
-		for _, out := range core.RunAll() {
+		for _, out := range core.RunAll(context.Background()) {
 			fmt.Println(out)
 		}
 		return
@@ -139,7 +140,7 @@ func cmdRun(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, resolved, err := e.RunWith(p)
+	res, resolved, err := e.RunWith(context.Background(), p)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -204,7 +205,7 @@ func cmdSweep(args []string) {
 			return nil
 		}
 	}
-	sum, err := sweep.Run(eng, sp, emit)
+	sum, err := sweep.Run(context.Background(), eng, sp, emit)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -228,6 +229,6 @@ func usage() {
   arch21 params <id>
   arch21 run <id|all> [-param name=value ...] [-csv]
   arch21 sweep -id <id> -param name=lo:hi:step [-param ...] [-csv] [-v]
-  arch21 loadtest -scenario <name> [-duration 5s] [-clients N] [-rate R] [-http addr] [-json out.json]
-  arch21 benchcmp [-tolerance 0.25] old.json new.json`)
+  arch21 loadtest -scenario <name> [-duration 5s] [-clients N] [-rate R] [-class interactive|batch] [-http addr] [-json out.json [-append]]
+  arch21 benchcmp [-tolerance 0.25] old.json new.json [more-new.json ...]`)
 }

@@ -1,19 +1,27 @@
 // Command arch21d serves the toolkit's experiments over HTTP through the
 // concurrent serving engine: sharded memoizing result cache (parameter
 // assignments folded into cache keys), singleflight deduplication, a
-// bounded worker pool, and self-reported tail latency. Parameter sweeps
-// fan grids out over the same engine and stream NDJSON.
+// class-based QoS admission scheduler (interactive /run traffic served
+// strictly ahead of batch sweep points, with a token-bucket batch
+// throttle and deadline-aware shedding), and self-reported per-class
+// tail latency. Parameter sweeps fan grids out over the same engine as
+// batch class and stream NDJSON; a dropped stream cancels queued AND
+// in-flight grid points.
 //
 // With -peers, arch21d runs as a consistent-hash routing front-end
 // instead: requests (and every sweep grid point) route to the replica
-// owning their cache key, with health-checked ejection and bounded
-// failover. With -snapshot, the engine persists its cache to disk (tier
-// 2) and warm-starts from it on boot.
+// owning their cache key — class and remaining deadline budget propagate
+// in the X-Arch21-Class / X-Arch21-Deadline-MS headers — with
+// health-checked ejection and bounded failover. With -snapshot, the
+// engine persists its cache to disk (tier 2) and warm-starts from it on
+// boot. With -lc-slo, a feedback controller retunes the batch throttle
+// every second to hold the live interactive p99 at the SLO.
 //
 // Usage:
 //
 //	arch21d [-addr :8021] [-shards 16] [-ttl 0] [-workers 4]
 //	        [-snapshot cache.snap] [-snapshot-every 30s]
+//	        [-batch-rate 0] [-lc-slo 0]
 //	arch21d -peers :8022,:8023,:8024 [-addr :8021]
 //
 // Endpoints:
@@ -23,14 +31,16 @@
 //	GET  /run/{id}             serve one experiment (add ?format=text|csv)
 //	GET  /run/{id}?param=n=v   override declared parameters (repeatable)
 //	POST /sweep                parameter-grid sweep, streamed as NDJSON
-//	GET  /stats                request counters, cache stats, p50/p99
+//	GET  /stats                request counters, cache stats, per-class
+//	                           p50/p99, scheduler + shed counters
 //	                           (router mode: routing counters + backend health)
 //
 // Example:
 //
-//	arch21d &
+//	arch21d -lc-slo 50ms &
 //	curl localhost:8021/run/E3
 //	curl "localhost:8021/run/E7?param=f=0.99&param=bces=1024"
+//	curl -H 'X-Arch21-Class: batch' -H 'X-Arch21-Deadline-MS: 2000' localhost:8021/run/E9
 //	curl -d '{"id":"E7","params":["f=0.9:0.99:0.03","bces=64,256"]}' localhost:8021/sweep
 //	curl localhost:8021/stats
 package main
@@ -47,7 +57,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/qos"
 	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -60,6 +72,8 @@ func main() {
 	workers := flag.Int("workers", 4, "max concurrent cold experiment runs")
 	snapshot := flag.String("snapshot", "", "tier-2 cache snapshot file: warm-start from it on boot, persist to it while serving")
 	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "background snapshot save interval (0 = only on shutdown)")
+	batchRate := flag.Float64("batch-rate", 0, "token-bucket rate for batch-class admissions (grid points/s; 0 = unthrottled)")
+	lcSLO := flag.Duration("lc-slo", 0, "interactive p99 SLO: a feedback controller retunes -batch-rate every second to hold it (0 = static rate)")
 	peers := flag.String("peers", "", "comma-separated replica addresses: run as a consistent-hash routing front-end instead of serving locally")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -76,7 +90,7 @@ func main() {
 		// dropping engine flags would let an operator believe they
 		// configured a cache that does not exist.
 		engineOnly := map[string]bool{"shards": true, "ttl": true, "workers": true,
-			"snapshot": true, "snapshot-every": true}
+			"snapshot": true, "snapshot-every": true, "batch-rate": true, "lc-slo": true}
 		flag.Visit(func(f *flag.Flag) {
 			if engineOnly[f.Name] {
 				fmt.Fprintf(os.Stderr, "arch21d: -%s configures the local engine and has no effect with -peers\n", f.Name)
@@ -104,11 +118,41 @@ func main() {
 			Shards:       *shards,
 			TTL:          *ttl,
 			Workers:      *workers,
+			BatchRate:    *batchRate,
 			SnapshotPath: *snapshot,
 		})
 		defer engine.Close()
 		mux.Handle("/", engine.Handler())
 		mux.Handle("POST /sweep", sweep.Handler(engine))
+		if *lcSLO > 0 {
+			// The §2.4 feedback loop, live: every second, read the
+			// interactive class's p99 over the *last window* (the
+			// lifetime reservoir in /stats barely moves once mature, so
+			// it would mask both fresh violations and recoveries) and
+			// retune the batch token-bucket toward the highest rate that
+			// still meets the SLO. Starting rate: the static -batch-rate
+			// if given, else an optimistic 256 points/s for the
+			// controller to walk down.
+			initial := *batchRate
+			if initial <= 0 {
+				initial = 256
+			}
+			ctrl := qos.NewRateController(lcSLO.Seconds(), initial, 0.1, 1e6)
+			engine.SetBatchRate(ctrl.Rate())
+			go func() {
+				for range time.Tick(time.Second) {
+					win := engine.TakeClassWindow(admit.Interactive)
+					if win.Count < 10 {
+						continue // too few samples this window to steer on
+					}
+					if rate := ctrl.Update(win.P99); rate != engine.BatchRate() {
+						engine.SetBatchRate(rate)
+						log.Printf("arch21d: qos controller: interactive p99 %.1fms (n=%d) vs SLO %v -> batch rate %.3g/s",
+							win.P99*1e3, win.Count, *lcSLO, rate)
+					}
+				}
+			}()
+		}
 		if *snapshot != "" {
 			if loaded := engine.Metrics().Snapshot.Loaded; loaded > 0 {
 				log.Printf("arch21d: warm start: %d entries loaded from %s", loaded, *snapshot)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/load"
 )
@@ -151,6 +152,62 @@ func TestReplicaDocsCoverRouter(t *testing.T) {
 	} {
 		if !strings.Contains(sec, want) {
 			t.Errorf("README replica walkthrough no longer mentions %q", want)
+		}
+	}
+}
+
+// The QoS docs cannot drift from the admit package: DESIGN.md §8 must
+// name every scheduling policy and request class exactly as the code
+// does (the policy list is pinned to admit.Policies()), plus the header
+// contract and shed status semantics; README must document the QoS
+// flags (-batch-rate, -lc-slo, loadtest -class) and the colocation make
+// target. The §6 scenario-table check in TestReplicaDocsCoverRouter
+// already pins the colocation scenario row via load.Scenarios().
+func TestQoSDocsCoverAdmit(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s8 := strings.Index(doc, "## §8")
+	if s8 < 0 {
+		t.Fatal("DESIGN.md has no §8 (QoS & admission control)")
+	}
+	sec8 := doc[s8:]
+	for _, p := range admit.Policies() {
+		if !strings.Contains(sec8, "`"+p.String()+"`") {
+			t.Errorf("DESIGN.md §8 does not document policy %q", p)
+		}
+	}
+	for _, c := range admit.Classes() {
+		if !strings.Contains(sec8, "`"+c.String()+"`") {
+			t.Errorf("DESIGN.md §8 does not document class %q", c)
+		}
+	}
+	// Collapse whitespace so the conservation-law sentence may wrap.
+	squashed := strings.Join(strings.Fields(sec8), " ")
+	for _, want := range []string{
+		"internal/admit", admit.HeaderClass, admit.HeaderDeadlineMS,
+		"Retry-After", "429", "503", "504",
+		"hits + deduped + sheds + executions == requests",
+		"-lc-slo", "-batch-rate", "colocation",
+	} {
+		if !strings.Contains(squashed, want) {
+			t.Errorf("DESIGN.md §8 no longer mentions %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := string(readme)
+	for _, want := range []string{
+		"-batch-rate", "-lc-slo", "-class", "loadtest-colocation",
+		admit.HeaderClass, admit.HeaderDeadlineMS, "Retry-After",
+	} {
+		if !strings.Contains(rdoc, want) {
+			t.Errorf("README.md no longer mentions %q", want)
 		}
 	}
 }

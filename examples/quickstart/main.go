@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -18,7 +19,7 @@ func main() {
 		if !ok {
 			panic("experiment missing: " + id)
 		}
-		res := e.Run()
+		res := e.Run(context.Background())
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("paper claim: %s\n\n", e.PaperClaim)
 		fmt.Println(res.Render())

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,12 +76,20 @@ type Experiment struct {
 	// Run executes the experiment deterministically at its default
 	// parameter assignment. For parameterized experiments register
 	// synthesizes it from RunP, so registrations set one or the other.
-	Run func() Result
+	//
+	// The context is the caller's cancellation signal: most experiments
+	// finish in microseconds and may ignore it, but long-loop experiments
+	// (E5's kernel scan, E11's sample scoring) check ctx.Err() at
+	// iteration boundaries and return early — RunWith then discards the
+	// partial result and surfaces ctx.Err(), which is how a disconnected
+	// client's abandoned work actually stops mid-run instead of grinding
+	// to completion unobserved.
+	Run func(ctx context.Context) Result
 	// RunP executes the experiment under a resolved parameter
-	// assignment (every declared knob present and validated). Use
-	// RunWith, which resolves and validates, rather than calling RunP
-	// directly.
-	RunP func(Params) Result
+	// assignment (every declared knob present and validated), under the
+	// same context contract as Run. Use RunWith, which resolves and
+	// validates, rather than calling RunP directly.
+	RunP func(ctx context.Context, p Params) Result
 }
 
 var registry = map[string]Experiment{}
@@ -99,13 +108,14 @@ func register(e Experiment) {
 	registry[e.ID] = e
 }
 
-// defaultRun synthesizes the zero-param entry point from RunP. Each call
-// builds a fresh defaults map — a RunP that mutated a shared map would
-// corrupt every later default-parameter run (and what the serve cache
-// memoizes).
-func (e Experiment) defaultRun() func() Result {
+// defaultRun synthesizes the zero-param entry point from RunP — the
+// compat shim that keeps parameterized experiments runnable through the
+// plain Run path. Each call builds a fresh defaults map — a RunP that
+// mutated a shared map would corrupt every later default-parameter run
+// (and what the serve cache memoizes).
+func (e Experiment) defaultRun() func(context.Context) Result {
 	runP, defaults := e.RunP, e.Defaults
-	return func() Result { return runP(defaults()) }
+	return func(ctx context.Context) Result { return runP(ctx, defaults()) }
 }
 
 // Registry returns all experiments sorted by ID (E1..E18 numerically, then
@@ -146,11 +156,14 @@ func ByID(id string) (Experiment, bool) {
 }
 
 // RunAll executes every experiment and returns rendered output keyed by ID
-// in registry order.
-func RunAll() []string {
+// in registry order. It stops early when ctx is canceled.
+func RunAll(ctx context.Context) []string {
 	var out []string
 	for _, e := range Registry() {
-		res := e.Run()
+		if ctx.Err() != nil {
+			break
+		}
+		res := e.Run(ctx)
 		out = append(out, fmt.Sprintf("=== %s: %s\nclaim: %s\n%s",
 			e.ID, e.Title, e.PaperClaim, res.Render()))
 	}

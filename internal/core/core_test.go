@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -42,7 +43,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res := e.Run()
+			res := e.Run(context.Background())
 			if res.Table == nil && res.Figure == nil {
 				t.Fatal("no table or figure")
 			}
@@ -61,8 +62,8 @@ func TestAllExperimentsRun(t *testing.T) {
 func TestExperimentsDeterministic(t *testing.T) {
 	for _, id := range []string{"E2", "E3", "E9", "E12", "E15"} {
 		e, _ := ByID(id)
-		a := e.Run().Render()
-		b := e.Run().Render()
+		a := e.Run(context.Background()).Render()
+		b := e.Run(context.Background()).Render()
 		if a != b {
 			t.Fatalf("%s renders differ across runs", id)
 		}
@@ -72,24 +73,24 @@ func TestExperimentsDeterministic(t *testing.T) {
 // Spot-check the headline numbers against the paper's claims.
 func TestHeadlineClaims(t *testing.T) {
 	e3, _ := ByID("E3")
-	out := e3.Run().Render()
+	out := e3.Run(context.Background()).Render()
 	if !strings.Contains(out, "63.") {
 		t.Errorf("E3 should report ~63%%: %s", out)
 	}
 	e2, _ := ByID("E2")
-	out2 := e2.Run().Render()
+	out2 := e2.Run(context.Background()).Render()
 	if !strings.Contains(out2, "architecture") {
 		t.Errorf("E2 missing architecture row")
 	}
 	e1, _ := ByID("E1")
-	out1 := e1.Run().Render()
+	out1 := e1.Run(context.Background()).Render()
 	if !strings.Contains(out1, "64") { // 2^6 transistors at gen 6
 		t.Errorf("E1 should show 64x transistors: %s", out1)
 	}
 }
 
 func TestRunAll(t *testing.T) {
-	outs := RunAll()
+	outs := RunAll(context.Background())
 	if len(outs) != len(Registry()) {
 		t.Fatalf("RunAll produced %d outputs", len(outs))
 	}
@@ -97,6 +98,29 @@ func TestRunAll(t *testing.T) {
 		if !strings.Contains(o, "claim:") {
 			t.Fatal("output missing claim line")
 		}
+	}
+}
+
+// A canceled context must surface as an error from RunWith — never as a
+// (partial) result that could be memoized — both when canceled before the
+// run and when an experiment bails out at an iteration boundary mid-run.
+func TestRunWithCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"E5", "E11", "T2"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		if _, _, err := e.RunWith(ctx, nil); err != context.Canceled {
+			t.Errorf("%s: RunWith(canceled) = %v, want context.Canceled", id, err)
+		}
+	}
+	// Mid-run cancellation: the experiment returns a partial result at an
+	// iteration boundary, which RunWith must discard in favor of the error.
+	e, _ := ByID("E5")
+	if res := e.Run(ctx); res.Table != nil || len(res.Findings) > 0 {
+		t.Errorf("E5 under a canceled ctx should return an empty partial result, got %+v", res)
 	}
 }
 

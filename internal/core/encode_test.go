@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/report"
@@ -64,7 +65,7 @@ func TestEveryExperimentResultRoundTrips(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res := e.Run()
+			res := e.Run(context.Background())
 			got, err := DecodeResult(res.Encode())
 			if err != nil {
 				t.Fatalf("DecodeResult(%s): %v", e.ID, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cluster"
@@ -34,7 +35,7 @@ func init() {
 	})
 }
 
-func runE3(p Params) Result {
+func runE3(ctx context.Context, p Params) Result {
 	fanout := p.Int("fanout")
 	baseTrials := p.Int("trials")
 	hedgeQ := p.Float("hedge")
@@ -94,7 +95,7 @@ func runE3(p Params) Result {
 	return res
 }
 
-func runE15() Result {
+func runE15(ctx context.Context) Result {
 	base := qos.Config{
 		LCRate:           100,
 		LCService:        stats.Exponential{Rate: 1000},

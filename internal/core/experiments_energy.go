@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/accel"
@@ -49,7 +50,7 @@ func init() {
 	})
 }
 
-func runE4() Result {
+func runE4(ctx context.Context) Result {
 	tbl45 := energy.Table45()
 	out := report.NewTable("E4: specialization per kernel (45nm)",
 		"kernel", "gp energy/op", "accel energy/op", "raw factor", "coverage", "chip-level gain")
@@ -92,7 +93,7 @@ func runE4() Result {
 	}
 }
 
-func runE5(p Params) Result {
+func runE5(ctx context.Context, p Params) Result {
 	operands := p.Int("operands")
 	tile := p.Int("tile")
 	tbl := energy.Table45()
@@ -100,6 +101,12 @@ func runE5(p Params) Result {
 		fmt.Sprintf("E5: energy to fetch %d FMA operands (45nm, 64-bit)", operands),
 		"operand source", "fetch energy", "ratio vs 50pJ FMA")
 	for _, lvl := range []string{"reg", "l1", "l2", "l3", "dram"} {
+		// Iteration-boundary cancellation check: a canceled caller's
+		// partial table is discarded by RunWith, so bail out now rather
+		// than finish work nobody will read.
+		if ctx.Err() != nil {
+			return Result{}
+		}
 		fetch := units.Energy(operands) * tbl.OperandFetch(lvl)
 		ratio := float64(fetch) / float64(tbl.FPOp)
 		out.AddRow(lvl, fetch.String(), report.FormatFloat(ratio)+"x")
@@ -111,6 +118,9 @@ func runE5(p Params) Result {
 	rl := energy.StandardRoofline()
 	memBound := ""
 	for _, k := range workload.Kernels() {
+		if ctx.Err() != nil {
+			return Result{}
+		}
 		if rl.EnergyPerOp(k.Intensity(tile)) > 2*rl.OpEnergy {
 			if memBound != "" {
 				memBound += ", "
@@ -131,7 +141,7 @@ func runE5(p Params) Result {
 	return res
 }
 
-func runE6() Result {
+func runE6(ctx context.Context) Result {
 	out := report.NewTable("E6: the paper's efficiency ladder",
 		"platform", "target", "budget", "target ops/W", "today ops/W", "gap")
 	var maxGap, minGap float64
@@ -161,7 +171,7 @@ func runE6() Result {
 	}
 }
 
-func runE10() Result {
+func runE10(ctx context.Context) Result {
 	links := noc.StandardLinks()
 	elec, phot, board := links[0], links[1], links[2]
 	tbl45 := energy.Table45()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/noc"
@@ -34,7 +35,7 @@ func init() {
 	})
 }
 
-func runE21(p Params) Result {
+func runE21(ctx context.Context, p Params) Result {
 	side := p.Int("side")
 	layers := p.Int("layers")
 	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
@@ -81,7 +82,7 @@ func runE21(p Params) Result {
 	return res
 }
 
-func runE22() Result {
+func runE22(ctx context.Context) Result {
 	nodeMTTF := 5.0 * 365 * 86400 // 5-year node MTTF
 	tbl := report.NewTable("E22: checkpoint/restart efficiency vs machine scale",
 		"nodes", "system MTTF (h)", "Young interval (min)", "useful-work efficiency")

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/report"
 	"repro/internal/tech"
 )
@@ -17,7 +19,7 @@ func init() {
 	})
 }
 
-func runE23() Result {
+func runE23(ctx context.Context) Result {
 	d := tech.StandardDVFS()
 	const ops = 1e9 // a 0.5s-at-nominal work chunk
 	tbl := report.NewTable("E23: energy for a 1-Gop task vs expressed deadline (45nm mobile core)",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/energy"
@@ -25,7 +26,7 @@ func init() {
 	})
 }
 
-func runE20(p Params) Result {
+func runE20(ctx context.Context, p Params) Result {
 	n := p.Int("n")
 	tbl := report.NewTable(
 		fmt.Sprintf("E20: matmul (%dx%d, %dKB working set) on an embedded 2-level hierarchy",

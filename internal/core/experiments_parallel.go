@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -34,7 +35,7 @@ func init() {
 	})
 }
 
-func runE7(p Params) Result {
+func runE7(ctx context.Context, p Params) Result {
 	f := p.Float("f")
 	n := float64(p.Int("bces"))
 	fig := report.NewFigure(
@@ -75,7 +76,7 @@ func runE7(p Params) Result {
 	return res
 }
 
-func runT2() Result {
+func runT2(ctx context.Context) Result {
 	// Row 1: single-chip performance -> infrastructure (tail latency is a
 	// system property, not a chip property).
 	deanFrac := cluster.FractionAboveQuantile(100, 0.99)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/approx"
 	"repro/internal/edge"
 	"repro/internal/energy"
@@ -42,13 +44,23 @@ func init() {
 	})
 }
 
-func runE11() Result {
+func runE11(ctx context.Context) Result {
 	node := sensor.StandardNode()
-	// Calibrate the flagged fraction from the real detector.
+	// Calibrate the flagged fraction from the real detector. This scoring
+	// pass over the generated sample stream is E11's long loop, so check
+	// for cancellation at the stage boundaries around it — a disconnected
+	// caller's run stops here instead of simulating a full day's budget
+	// nobody will read.
+	if ctx.Err() != nil {
+		return Result{}
+	}
 	cfg := workload.DefaultStreamConfig()
 	cfg.AnomalyRate = 0.02
 	score := sensor.ScoreOnNode(cfg, 600, 2014)
 	node.FlaggedFraction = score.FlaggedFraction()
+	if ctx.Err() != nil {
+		return Result{}
+	}
 
 	raw := node.DayBudget(sensor.RawTransmit)
 	filt := node.DayBudget(sensor.OnSensorFilter)
@@ -78,7 +90,7 @@ func runE11() Result {
 	}
 }
 
-func runE12() Result {
+func runE12(ctx context.Context) Result {
 	cfg := workload.DefaultStreamConfig()
 	cfg.AnomalyRate = 0.1
 	r := stats.NewRNG(31)
@@ -139,7 +151,7 @@ func streamValues(ss []workload.StreamSample) []float64 {
 	return out
 }
 
-func runE16() Result {
+func runE16(ctx context.Context) Result {
 	stages := edge.VisionPipeline()
 	d, c := edge.StandardDevice(), edge.StandardCloud()
 	tbl := report.NewTable("E16: AR vision pipeline split across device and cloud",
@@ -159,7 +171,7 @@ func runE16() Result {
 	}
 }
 
-func runE18() Result {
+func runE18(ctx context.Context) Result {
 	// A fleet of sensors: ship raw samples to the datacenter vs filter at
 	// the source vs hybrid (filter + daily summaries). Costs charge sensor
 	// radio, network transport, and datacenter ingest compute.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,7 +39,7 @@ func init() {
 	})
 }
 
-func runE1(p Params) Result {
+func runE1(ctx context.Context, p Params) Result {
 	gens := p.Int("gens")
 	dennard := tech.Trajectory(tech.Dennard, gens)
 	post := tech.Trajectory(tech.PostDennard, gens)
@@ -66,7 +67,7 @@ func runE1(p Params) Result {
 	return res
 }
 
-func runE2() Result {
+func runE2(ctx context.Context) Result {
 	cfg := tech.DefaultCPUDBConfig()
 	db := tech.GenerateCPUDB(cfg, stats.NewRNG(1985))
 	d := tech.DecomposePerformance(db)
@@ -87,7 +88,7 @@ func runE2() Result {
 	}
 }
 
-func runT1() Result {
+func runT1(ctx context.Context) Result {
 	gens := 5
 	post := tech.Trajectory(tech.PostDennard, gens)
 	nodes := tech.Nodes()

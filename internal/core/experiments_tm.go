@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -74,7 +75,7 @@ func bankWorkload(p, nAccounts, opsPerThread int, useSTM bool) (float64, tm.Stat
 	return float64(p*opsPerThread) / elapsed, st
 }
 
-func runE19() Result {
+func runE19(ctx context.Context) Result {
 	maxP := runtime.NumCPU()
 	if maxP > 8 {
 		maxP = 8

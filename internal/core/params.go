@@ -10,6 +10,7 @@ package core
 // path.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -215,18 +216,38 @@ func (e Experiment) SchemaString() string {
 // means all defaults). Zero-parameter experiments accept only an empty
 // assignment. The resolved, validated assignment is returned alongside the
 // result so callers (the serve engine, sweep aggregation) can key on it.
-func (e Experiment) RunWith(p Params) (Result, Params, error) {
+//
+// The context is checked before the run and again after it: an experiment
+// that returns early because ctx fired mid-run (E5, E11 check at
+// iteration boundaries) yields an incomplete Result, which RunWith
+// discards in favor of ctx.Err() — a canceled request can never be
+// mistaken for (or memoized as) a real result.
+func (e Experiment) RunWith(ctx context.Context, p Params) (Result, Params, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, err
+	}
 	if e.RunP == nil {
 		if len(p) > 0 {
 			return Result{}, nil, fmt.Errorf("core: experiment %s takes no parameters", e.ID)
 		}
-		return e.Run(), nil, nil
+		res := e.Run(ctx)
+		if err := ctx.Err(); err != nil {
+			return Result{}, nil, err
+		}
+		return res, nil, nil
 	}
 	resolved, err := e.ResolveParams(p)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return e.RunP(resolved), resolved, nil
+	res := e.RunP(ctx, resolved)
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, err
+	}
+	return res, resolved, nil
 }
 
 // CacheKey derives the memoization key for one (experiment, assignment)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func specExperiment() Experiment {
 			{Name: "gens", Kind: IntParam, Default: 6, Min: 1, Max: 12, Doc: "generations"},
 			{Name: "f", Kind: FloatParam, Default: 0.975, Min: 0.5, Max: 0.9999, Doc: "parallel fraction"},
 		},
-		RunP: func(p Params) Result {
+		RunP: func(_ context.Context, p Params) Result {
 			return Result{Findings: []string{
 				finding("gens=%d f=%s", p.Int("gens"), FormatParamValue(p.Float("f"))),
 			}}
@@ -46,7 +47,7 @@ func TestDefaultRunBuildsFreshDefaultsPerCall(t *testing.T) {
 	e := Experiment{
 		ID:     "EX",
 		Params: []ParamSpec{{Name: "k", Kind: FloatParam, Default: 2, Min: 0, Max: 1000}},
-		RunP: func(p Params) Result {
+		RunP: func(_ context.Context, p Params) Result {
 			v := p.Float("k")
 			p["k"] = v + 100
 			return Result{Findings: []string{FormatParamValue(v)}}
@@ -54,7 +55,7 @@ func TestDefaultRunBuildsFreshDefaultsPerCall(t *testing.T) {
 	}
 	run := e.defaultRun()
 	for i := 0; i < 3; i++ {
-		if got := run().Findings[0]; got != "2" {
+		if got := run(context.Background()).Findings[0]; got != "2" {
 			t.Fatalf("run %d saw k=%s, want the default 2 (shared defaults map leaked a mutation)", i, got)
 		}
 	}
@@ -108,17 +109,17 @@ func TestRunWithZeroParamExperiment(t *testing.T) {
 	if len(e.Params) != 0 {
 		t.Fatalf("T2 should declare no parameters")
 	}
-	if _, _, err := e.RunWith(Params{"anything": 1}); err == nil {
+	if _, _, err := e.RunWith(context.Background(), Params{"anything": 1}); err == nil {
 		t.Fatal("params on a zero-param experiment should error")
 	}
-	res, resolved, err := e.RunWith(nil)
+	res, resolved, err := e.RunWith(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("RunWith(nil): %v", err)
 	}
 	if resolved != nil {
 		t.Fatalf("resolved should be nil, got %v", resolved)
 	}
-	if res.Render() != e.Run().Render() {
+	if res.Render() != e.Run(context.Background()).Render() {
 		t.Fatal("RunWith(nil) differs from Run()")
 	}
 }
@@ -136,11 +137,11 @@ func TestRunWithDefaultsMatchesRun(t *testing.T) {
 		}
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, _, err := e.RunWith(e.Defaults())
+			res, _, err := e.RunWith(context.Background(), e.Defaults())
 			if err != nil {
 				t.Fatalf("RunWith(defaults): %v", err)
 			}
-			if res.Render() != e.Run().Render() {
+			if res.Render() != e.Run(context.Background()).Render() {
 				t.Fatal("RunWith(defaults) differs from Run()")
 			}
 		})

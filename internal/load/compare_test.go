@@ -1,6 +1,7 @@
 package load
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -277,5 +278,38 @@ func TestCompareChangeIsZeroSafeOnZeroOld(t *testing.T) {
 				t.Fatal("error-rate spike from zero should still regress")
 			}
 		}
+	}
+}
+
+// MergeFile assembles multi-scenario BENCH files: replace same-scenario,
+// append new, create missing.
+func TestMergeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	r1 := sampleReport("warm-hammer", 1000, 0.0005)
+	if err := MergeFile(path, r1); err != nil {
+		t.Fatalf("MergeFile(create): %v", err)
+	}
+	r2 := sampleReport("cluster-scatter", 400, 0.001)
+	if err := MergeFile(path, r2); err != nil {
+		t.Fatalf("MergeFile(append): %v", err)
+	}
+	r1b := sampleReport("warm-hammer", 2000, 0.0004)
+	if err := MergeFile(path, r1b); err != nil {
+		t.Fatalf("MergeFile(replace): %v", err)
+	}
+	got, err := ReadReports(path)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ReadReports = %d reports, %v; want 2", len(got), err)
+	}
+	byName := map[string]Report{}
+	for _, r := range got {
+		byName[r.Scenario] = r
+	}
+	if byName["warm-hammer"].Metrics.ThroughputRPS != r1b.Metrics.ThroughputRPS {
+		t.Fatal("same-scenario merge did not replace the old report")
+	}
+	if _, ok := byName["cluster-scatter"]; !ok {
+		t.Fatal("merge dropped the other scenario")
 	}
 }

@@ -17,18 +17,24 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/sweep"
 )
 
 // Variant is one distinct request the generator can issue: an experiment
-// ID plus a (possibly nil) parameter assignment. Distinct variants hit
-// distinct cache keys in the serving engine.
+// ID plus a (possibly nil) parameter assignment, issued under a QoS
+// class. Distinct (ID, params) pairs hit distinct cache keys in the
+// serving engine.
 type Variant struct {
 	// ID is the experiment to request.
 	ID string
 	// Params is the parameter assignment (nil for defaults).
 	Params core.Params
+	// Class is the request class the variant is issued under (zero value
+	// admit.Interactive). The target carries it to the scheduler — as a
+	// context tag in-process, as X-Arch21-Class over HTTP.
+	Class admit.Class
 }
 
 // String renders the variant like an engine cache key ("E7?bces=64&f=0.9";
@@ -95,6 +101,23 @@ type Scenario struct {
 	Reset bool
 	// Seed drives trace generation and client key draws.
 	Seed uint64
+	// Batch, when set, couples the scenario with a concurrent batch-class
+	// storm: closed-loop clients hammering Batch.Variants for the same
+	// measured window, recorded separately so the report splits latency
+	// per class — the colocation experiment that proves (or disproves)
+	// that batch pressure moves interactive tail latency.
+	Batch *BatchStorm
+}
+
+// BatchStorm is the concurrent batch-class half of a colocation
+// scenario: a sweep-shaped flood of grid points issued round-robin by
+// closed-loop clients, all tagged admit.Batch.
+type BatchStorm struct {
+	// Variants is the batch request catalog, cycled round-robin. Their
+	// Class is forced to admit.Batch at scenario construction.
+	Variants []Variant
+	// Clients is the closed-loop batch concurrency (default 8).
+	Clients int
 }
 
 // gridVariants expands a sweep-style parameter grid ("f=0.9:0.99:0.01")
@@ -164,6 +187,15 @@ func Scenarios() []Scenario {
 			defaults("E2", "E4", "E10", "E14", "E17", "E22", "T1")...,
 		)...,
 	)
+	// Colocation: the warm interactive mix under a concurrent batch
+	// sweep-storm of cold grid points. With the strict-priority scheduler
+	// the interactive per-class p99 must stay flat while batch makes
+	// progress; under a SharedFIFO engine the same scenario demonstrates
+	// the inversion the scheduler removes.
+	batchStorm := asBatch(append(
+		gridVariants("E7", "f=0.9:0.99:0.005", "bces=16,64,256,1024,4096"),
+		gridVariants("E5", "operands=1:8:1", "tile=256,1024,4096,16384,65536")...,
+	))
 	return []Scenario{
 		{
 			Name: "warm-hammer",
@@ -195,7 +227,21 @@ func Scenarios() []Scenario {
 			Doc:  "closed-loop cycling through a large parameter grid: first pass cold, later passes warm — memoization under churn",
 			Mode: ClosedLoop, Variants: churn, Skew: 0, Clients: 4, Seed: 5,
 		},
+		{
+			Name: "colocation",
+			Doc:  "warm interactive hammer colocated with a concurrent batch sweep-storm: per-class report proves batch pressure is not moving interactive p99",
+			Mode: ClosedLoop, Variants: warm, Skew: 1.1, Clients: 8, Warm: true, Seed: 7,
+			Batch: &BatchStorm{Variants: batchStorm, Clients: 8},
+		},
 	}
+}
+
+// asBatch forces every variant's class to admit.Batch.
+func asBatch(vs []Variant) []Variant {
+	for i := range vs {
+		vs[i].Class = admit.Batch
+	}
+	return vs
 }
 
 // ScenarioByName finds a catalog scenario.

@@ -3,6 +3,7 @@ package load
 import (
 	"errors"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -57,8 +58,8 @@ func (s *stubTarget) count(k string) int {
 // the core registry.
 func TestScenarioCatalogResolves(t *testing.T) {
 	scs := Scenarios()
-	if len(scs) != 6 {
-		t.Fatalf("catalog has %d scenarios, want 6", len(scs))
+	if len(scs) != 7 {
+		t.Fatalf("catalog has %d scenarios, want 7", len(scs))
 	}
 	seen := map[string]bool{}
 	for _, sc := range scs {
@@ -72,7 +73,14 @@ func TestScenarioCatalogResolves(t *testing.T) {
 		if len(sc.Variants) == 0 {
 			t.Fatalf("%s: no variants", sc.Name)
 		}
-		for _, v := range sc.Variants {
+		variants := sc.Variants
+		if sc.Batch != nil {
+			if len(sc.Batch.Variants) == 0 {
+				t.Fatalf("%s: batch storm with no variants", sc.Name)
+			}
+			variants = append(append([]Variant{}, variants...), sc.Batch.Variants...)
+		}
+		for _, v := range variants {
 			e, ok := core.ByID(v.ID)
 			if !ok {
 				t.Fatalf("%s: variant %s references unregistered experiment", sc.Name, v)
@@ -82,7 +90,7 @@ func TestScenarioCatalogResolves(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"warm-hammer", "cold-storm", "mixed-zipf", "herd", "cluster-scatter", "param-churn"} {
+	for _, name := range []string{"warm-hammer", "cold-storm", "mixed-zipf", "herd", "cluster-scatter", "param-churn", "colocation"} {
 		if _, ok := ScenarioByName(name); !ok {
 			t.Fatalf("ScenarioByName(%q) missing", name)
 		}
@@ -293,14 +301,14 @@ func TestReportWriteReadRoundTrip(t *testing.T) {
 	if err != nil || len(got1) != 1 {
 		t.Fatalf("ReadReports(one) = %v, %v", got1, err)
 	}
-	if got1[0] != r1 {
+	if !reflect.DeepEqual(got1[0], r1) {
 		t.Fatalf("single round trip mismatch: %+v vs %+v", got1[0], r1)
 	}
 	got2, err := ReadReports(many)
 	if err != nil || len(got2) != 2 {
 		t.Fatalf("ReadReports(many) = %v, %v", got2, err)
 	}
-	if got2[1] != r2 {
+	if !reflect.DeepEqual(got2[1], r2) {
 		t.Fatalf("array round trip mismatch")
 	}
 	if err := WriteFile(filepath.Join(dir, "none.json")); err == nil {

@@ -2,6 +2,7 @@ package load
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -53,6 +54,28 @@ type Latency struct {
 	Max  float64 `json:"max"`
 }
 
+// ClassMetrics is one request class's slice of a run's outcome — what a
+// colocation scenario reports per class so interactive tail latency is
+// legible independently of the batch storm sharing the window.
+type ClassMetrics struct {
+	// Requests counts the class's issued requests; Errors those that
+	// failed; ErrorRate their ratio.
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// DurationSeconds is the achieved (wall-clock) window.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// ThroughputRPS is the class's successful requests per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// CacheHitRatio and DedupRatio are fractions of the class's
+	// successful requests served from cache / piggybacked in flight.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	DedupRatio    float64 `json:"dedup_ratio"`
+	// Latency is the class's successful-request latency distribution
+	// (seconds).
+	Latency Latency `json:"latency_seconds"`
+}
+
 // Metrics is one run's measured outcome.
 type Metrics struct {
 	// Requests counts issued requests in the measured window; Errors
@@ -72,6 +95,12 @@ type Metrics struct {
 	// measured from scheduled arrival in open loop (coordinated-omission
 	// free) and from send in closed loop.
 	Latency Latency `json:"latency_seconds"`
+	// PerClass splits the outcome by request class ("interactive",
+	// "batch") when the scenario issued more than the default class —
+	// colocation runs read their headline QoS verdict here. Absent for
+	// single-class runs measured before this field existed (the addition
+	// is schema-compatible: all prior fields are unchanged).
+	PerClass map[string]ClassMetrics `json:"per_class,omitempty"`
 }
 
 // Report is one scenario run — the versioned, machine-readable BENCH
@@ -133,6 +162,33 @@ func WriteFile(path string, reports ...Report) error {
 		return fmt.Errorf("load: encode reports: %w", err)
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// MergeFile folds rep into the BENCH file at path: an existing report
+// for the same scenario is replaced, anything else is preserved, and a
+// missing file is created. This is how a multi-scenario baseline
+// (warm-hammer + cluster-scatter) is assembled from individual loadtest
+// runs.
+func MergeFile(path string, rep Report) error {
+	existing, err := ReadReports(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		existing = nil
+	}
+	replaced := false
+	for i, r := range existing {
+		if r.Scenario == rep.Scenario {
+			existing[i] = rep
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		existing = append(existing, rep)
+	}
+	return WriteFile(path, existing...)
 }
 
 // ReadReports parses a BENCH JSON file holding either a single report

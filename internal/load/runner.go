@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -22,6 +23,10 @@ type Options struct {
 	Rate float64
 	// Seed overrides the scenario seed.
 	Seed uint64
+	// Class overrides the class of the scenario's primary request stream
+	// (the batch storm of a colocation scenario keeps its own class).
+	// Nil leaves each variant's declared class alone.
+	Class *admit.Class
 }
 
 const (
@@ -36,9 +41,22 @@ const (
 	sampleCap = 1 << 15
 )
 
+// classRec accumulates one class's measurements.
+type classRec struct {
+	rec      *stats.LatencyRecorder
+	requests atomic.Int64
+	errs     atomic.Int64
+	hits     atomic.Int64
+	shared   atomic.Int64
+}
+
 // Run executes one scenario against the target and returns the measured
 // report (Git is left for the caller to stamp). Warmup requests run
-// before the measured window and are excluded from every metric.
+// before the measured window and are excluded from every metric. When
+// the scenario couples a BatchStorm, its batch-class clients hammer the
+// target for the same window and the report's PerClass section splits
+// every metric by class — the top-level Metrics stay the cross-class
+// aggregate.
 func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 	if len(sc.Variants) == 0 {
 		return Report{}, fmt.Errorf("load: scenario %q has no variants", sc.Name)
@@ -68,6 +86,14 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	if opt.Class != nil {
+		forced := make([]Variant, len(sc.Variants))
+		copy(forced, sc.Variants)
+		for i := range forced {
+			forced[i].Class = *opt.Class
+		}
+		sc.Variants = forced
+	}
 
 	// A reset that cannot be applied (HTTP targets) is recorded as such,
 	// so a "cold" artifact measured against a warm daemon is
@@ -87,33 +113,58 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		}
 	}
 
-	var (
-		rec      = stats.NewLatencyRecorder(sampleCap, seed)
-		requests atomic.Int64
-		errs     atomic.Int64
-		hits     atomic.Int64
-		shared   atomic.Int64
-	)
+	recs := make(map[admit.Class]*classRec, 2)
+	for i, c := range admit.Classes() {
+		recs[c] = &classRec{rec: stats.NewLatencyRecorder(sampleCap, seed+uint64(i))}
+	}
+	agg := stats.NewLatencyRecorder(sampleCap, seed+100)
 	// measure issues one request, timing it from started (the scheduled
-	// arrival in open loop, the send in closed loop). Failed requests
-	// count toward the error rate but not the latency distribution.
+	// arrival in open loop, the send in closed loop) into the variant's
+	// class bucket and the cross-class aggregate. Failed requests count
+	// toward the class error rate but not its latency distribution.
 	measure := func(v Variant, started time.Time) {
+		cr := recs[v.Class]
 		out, err := tgt.Do(v)
-		requests.Add(1)
+		cr.requests.Add(1)
 		if err != nil {
-			errs.Add(1)
+			cr.errs.Add(1)
 			return
 		}
-		rec.Observe(time.Since(started).Seconds())
+		lat := time.Since(started).Seconds()
+		cr.rec.Observe(lat)
+		agg.Observe(lat)
 		if out.CacheHit {
-			hits.Add(1)
+			cr.hits.Add(1)
 		}
 		if out.Shared {
-			shared.Add(1)
+			cr.shared.Add(1)
 		}
 	}
 
 	t0 := time.Now()
+
+	// The colocated batch storm: closed-loop batch-class clients cycling
+	// the storm catalog for the same measured window.
+	var stormWG sync.WaitGroup
+	if sc.Batch != nil && len(sc.Batch.Variants) > 0 {
+		bclients := sc.Batch.Clients
+		if bclients <= 0 {
+			bclients = 8
+		}
+		deadline := t0.Add(duration)
+		var next atomic.Int64
+		for c := 0; c < bclients; c++ {
+			stormWG.Add(1)
+			go func() {
+				defer stormWG.Done()
+				for time.Now().Before(deadline) {
+					v := sc.Batch.Variants[int((next.Add(1)-1)%int64(len(sc.Batch.Variants)))]
+					measure(v, time.Now())
+				}
+			}()
+		}
+	}
+
 	switch sc.Mode {
 	case OpenLoop:
 		n := int(rate * duration.Seconds())
@@ -189,29 +240,69 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 	default:
 		return Report{}, fmt.Errorf("load: scenario %q has unknown mode %v", sc.Name, sc.Mode)
 	}
+	stormWG.Wait()
 	elapsed := time.Since(t0)
 
-	req := requests.Load()
-	ok := req - errs.Load()
-	snap := rec.Snapshot()
+	// Fold per-class books into class metrics plus a cross-class
+	// aggregate (the top-level Metrics every existing consumer reads).
+	var req, errCount, hits, shared int64
+	perClass := make(map[string]ClassMetrics, len(recs))
+	for _, c := range admit.Classes() {
+		cr := recs[c]
+		r := cr.requests.Load()
+		if r == 0 {
+			continue
+		}
+		e := cr.errs.Load()
+		ok := r - e
+		snap := cr.rec.Snapshot()
+		cm := ClassMetrics{
+			Requests:        r,
+			Errors:          e,
+			DurationSeconds: elapsed.Seconds(),
+			Latency: Latency{
+				Mean: snap.Mean, P50: snap.P50, P95: snap.P95,
+				P99: snap.P99, P999: snap.P999, Min: snap.Min, Max: snap.Max,
+			},
+		}
+		if elapsed > 0 {
+			cm.ThroughputRPS = float64(ok) / elapsed.Seconds()
+		}
+		if r > 0 {
+			cm.ErrorRate = float64(e) / float64(r)
+		}
+		if ok > 0 {
+			cm.CacheHitRatio = float64(cr.hits.Load()) / float64(ok)
+			cm.DedupRatio = float64(cr.shared.Load()) / float64(ok)
+		}
+		perClass[c.String()] = cm
+		req += r
+		errCount += e
+		hits += cr.hits.Load()
+		shared += cr.shared.Load()
+	}
+	snap := agg.Snapshot()
+
+	ok := req - errCount
 	m := Metrics{
 		Requests:        req,
-		Errors:          errs.Load(),
+		Errors:          errCount,
 		DurationSeconds: elapsed.Seconds(),
 		Latency: Latency{
 			Mean: snap.Mean, P50: snap.P50, P95: snap.P95,
 			P99: snap.P99, P999: snap.P999, Min: snap.Min, Max: snap.Max,
 		},
+		PerClass: perClass,
 	}
 	if elapsed > 0 {
 		m.ThroughputRPS = float64(ok) / elapsed.Seconds()
 	}
 	if req > 0 {
-		m.ErrorRate = float64(errs.Load()) / float64(req)
+		m.ErrorRate = float64(errCount) / float64(req)
 	}
 	if ok > 0 {
-		m.CacheHitRatio = float64(hits.Load()) / float64(ok)
-		m.DedupRatio = float64(shared.Load()) / float64(ok)
+		m.CacheHitRatio = float64(hits) / float64(ok)
+		m.DedupRatio = float64(shared) / float64(ok)
 	}
 	// Calibrate at the run's own concurrency: closed-loop throughput
 	// scales with clients (up to the core count), open-loop fan-out with

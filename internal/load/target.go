@@ -1,6 +1,7 @@
 package load
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -24,7 +26,10 @@ type Outcome struct {
 }
 
 // Target abstracts where load is applied: the in-process engine or a live
-// daemon over HTTP. Implementations must be safe for concurrent Do calls.
+// daemon over HTTP. Implementations must be safe for concurrent Do calls
+// and must carry the variant's class to the target (as a context tag
+// in-process, as the X-Arch21-Class header over HTTP) so the scheduler
+// accounts the request under the class the scenario declared.
 type Target interface {
 	// Do issues one request and reports its outcome.
 	Do(v Variant) (Outcome, error)
@@ -54,7 +59,7 @@ func NewEngineTarget(eng *serve.Engine) *EngineTarget {
 // Server is any in-process serving surface (serve.Engine, router.Router)
 // a ServerTarget can drive.
 type Server interface {
-	ServeWith(id string, p core.Params) (serve.Response, error)
+	ServeWith(ctx context.Context, id string, p core.Params) (serve.Response, error)
 }
 
 // ServerTarget applies load to any Server — how the router is measured
@@ -77,9 +82,10 @@ func (t *ServerTarget) WithReset(reset func()) *ResettableServerTarget {
 	return &ResettableServerTarget{ServerTarget: ServerTarget{srv: t.srv, name: t.name, reset: reset}}
 }
 
-// Do serves one variant through the server.
+// Do serves one variant through the server under the variant's class.
 func (t *ServerTarget) Do(v Variant) (Outcome, error) {
-	resp, err := t.srv.ServeWith(v.ID, v.Params)
+	ctx := admit.WithClass(context.Background(), v.Class)
+	resp, err := t.srv.ServeWith(ctx, v.ID, v.Params)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -135,7 +141,8 @@ type runOutcome struct {
 	Shared   bool `json:"shared"`
 }
 
-// Do issues one GET /run/{id}?param=... request and decodes the outcome.
+// Do issues one GET /run/{id}?param=... request — batch-class variants
+// carry the X-Arch21-Class header — and decodes the outcome.
 func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
 	q := url.Values{}
 	for _, a := range v.Params.Assignments() {
@@ -145,7 +152,14 @@ func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := t.client.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("load: %s: %v", v, err)
+	}
+	if v.Class != admit.Interactive {
+		req.Header.Set(admit.HeaderClass, v.Class.String())
+	}
+	resp, err := t.client.Do(req)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -261,3 +261,60 @@ func meanOf(d stats.Dist) float64 {
 	}
 	return m
 }
+
+// RateController is the live counterpart of SLOController: instead of
+// bisecting a simulation, it walks the serving stack's real batch
+// token-bucket rate toward the highest value that still holds the
+// latency-critical p99 at the SLO. Multiplicative decrease on violation
+// (get safe fast), gentle multiplicative increase well inside the SLO
+// (reclaim batch throughput slowly), a dead band in between so the rate
+// does not oscillate on noise. Deterministic and clock-free: callers
+// feed it observed p99s (e.g. the engine's interactive-class snapshot
+// every second) and apply the returned rate via Engine.SetBatchRate.
+type RateController struct {
+	// SLO is the target p99 in seconds.
+	SLO float64
+	// Min and Max clamp the rate (Min > 0 keeps batch from starving
+	// forever; Max bounds the reclaim).
+	Min, Max float64
+
+	rate float64
+}
+
+// NewRateController starts a controller at the initial rate, clamped to
+// [min, max].
+func NewRateController(slo, initial, min, max float64) *RateController {
+	if min <= 0 {
+		min = 0.01
+	}
+	if max < min {
+		max = min
+	}
+	c := &RateController{SLO: slo, Min: min, Max: max, rate: initial}
+	c.rate = c.clamp(initial)
+	return c
+}
+
+// Rate returns the current batch rate.
+func (c *RateController) Rate() float64 { return c.rate }
+
+// Update feeds one observed LC p99 (seconds) and returns the new batch
+// rate. Non-positive observations (no traffic yet) leave the rate alone.
+func (c *RateController) Update(p99 float64) float64 {
+	if p99 <= 0 || math.IsNaN(p99) || math.IsInf(p99, 0) || c.SLO <= 0 {
+		return c.rate
+	}
+	switch {
+	case p99 > c.SLO:
+		// Violating: halve — batch gives ground immediately.
+		c.rate = c.clamp(c.rate * 0.5)
+	case p99 < 0.7*c.SLO:
+		// Comfortably inside: reclaim 20%.
+		c.rate = c.clamp(c.rate * 1.2)
+	}
+	return c.rate
+}
+
+func (c *RateController) clamp(r float64) float64 {
+	return math.Min(c.Max, math.Max(c.Min, r))
+}

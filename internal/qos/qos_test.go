@@ -118,3 +118,57 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("policy strings wrong")
 	}
 }
+
+// The live rate controller: violations halve the batch rate, comfortable
+// headroom reclaims it gently, the dead band holds it steady, and the
+// bounds always clamp.
+func TestRateController(t *testing.T) {
+	c := NewRateController(0.010, 100, 1, 200)
+	if got := c.Update(0.020); got != 50 {
+		t.Fatalf("violating p99 should halve the rate: got %v", got)
+	}
+	if got := c.Update(0.050); got != 25 {
+		t.Fatalf("second violation: got %v, want 25", got)
+	}
+	// Dead band: between 0.7*SLO and SLO nothing moves.
+	if got := c.Update(0.009); got != 25 {
+		t.Fatalf("dead band moved the rate: got %v", got)
+	}
+	// Headroom: reclaim 20%.
+	if got := c.Update(0.002); got != 30 {
+		t.Fatalf("reclaim: got %v, want 30", got)
+	}
+	// No observation leaves the rate alone.
+	if got := c.Update(0); got != 30 {
+		t.Fatalf("zero p99 moved the rate: got %v", got)
+	}
+	// Clamping: repeated reclaim saturates at Max, repeated violation at Min.
+	for i := 0; i < 50; i++ {
+		c.Update(0.001)
+	}
+	if got := c.Rate(); got != 200 {
+		t.Fatalf("rate should clamp at Max: got %v", got)
+	}
+	for i := 0; i < 50; i++ {
+		c.Update(1)
+	}
+	if got := c.Rate(); got != 1 {
+		t.Fatalf("rate should clamp at Min: got %v", got)
+	}
+}
+
+func TestRateControllerClampedConstruction(t *testing.T) {
+	// min <= 0 defaults; max < min snaps to min; initial clamps into range.
+	c := NewRateController(0.01, 500, 0, -1)
+	if c.Min != 0.01 || c.Max != c.Min {
+		t.Fatalf("bounds not normalized: min=%v max=%v", c.Min, c.Max)
+	}
+	if got := c.Rate(); got != c.Max {
+		t.Fatalf("initial rate not clamped: %v", got)
+	}
+	// A controller with no SLO never moves.
+	z := NewRateController(0, 10, 1, 100)
+	if got := z.Update(5); got != 10 {
+		t.Fatalf("SLO-less controller moved the rate: %v", got)
+	}
+}

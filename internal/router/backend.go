@@ -1,15 +1,19 @@
 package router
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -17,8 +21,9 @@ import (
 // Backend is one serve replica the router can place requests on.
 // Implementations must be safe for concurrent calls.
 type Backend interface {
-	// Do serves one (experiment, assignment) request.
-	Do(id string, p core.Params) (serve.Response, error)
+	// Do serves one (experiment, assignment) request under the caller's
+	// QoS context (class, deadline, cancellation).
+	Do(ctx context.Context, id string, p core.Params) (serve.Response, error)
 	// Check probes liveness cheaply; nil means healthy. The router calls
 	// it to decide re-admission of an ejected backend.
 	Check() error
@@ -40,8 +45,8 @@ func NewEngineBackend(eng *serve.Engine, name string) *EngineBackend {
 }
 
 // Do implements Backend.
-func (b *EngineBackend) Do(id string, p core.Params) (serve.Response, error) {
-	return b.eng.ServeWith(id, p)
+func (b *EngineBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
+	return b.eng.ServeWith(ctx, id, p)
 }
 
 // Check implements Backend; an in-process engine is alive by definition.
@@ -55,11 +60,15 @@ func (b *EngineBackend) Name() string { return b.name }
 func (b *EngineBackend) Engine() *serve.Engine { return b.eng }
 
 // statusError is an HTTP backend failure carrying the replica's status
-// code, so the router can tell client errors (no failover: every replica
-// would reject identically) from replica failures (fail over).
+// code — so the router can tell client errors (no failover: every
+// replica would reject identically) from replica failures (fail over) —
+// plus the replica's Retry-After hint when it sent one, so the routing
+// front-end can re-emit the header instead of swallowing the backoff
+// signal DESIGN.md §8 promises.
 type statusError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter string
 }
 
 func (e *statusError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.msg) }
@@ -68,6 +77,13 @@ func (e *statusError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.statu
 func isHTTPClientError(err error) bool {
 	var se *statusError
 	return errors.As(err, &se) && se.status >= 400 && se.status < 500
+}
+
+// isHTTPStatus reports whether err is a remote replica's response with
+// exactly the given status.
+func isHTTPStatus(err error, status int) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status == status
 }
 
 // HTTPBackend is a remote arch21d replica reached over its HTTP API
@@ -111,14 +127,26 @@ type runEnvelope struct {
 	ID       string      `json:"id"`
 	Params   core.Params `json:"params"`
 	Key      string      `json:"key"`
+	Class    string      `json:"class"`
 	CacheHit bool        `json:"cache_hit"`
 	Shared   bool        `json:"shared"`
 	Headline *float64    `json:"headline"`
 	Findings []string    `json:"findings"`
 }
 
+// hopBudget is the slice of a request's remaining deadline the front-end
+// keeps for itself when forwarding: network transfer plus envelope
+// decode. The replica sees the decremented budget, so the whole chain —
+// front-end admission, replica admission, replica execution — fits the
+// caller's original deadline instead of each hop granting itself a fresh
+// one.
+const hopBudget = 5 * time.Millisecond
+
 // Do implements Backend: GET /run/{id}?param=... against the replica.
-func (b *HTTPBackend) Do(id string, p core.Params) (serve.Response, error) {
+// The context's QoS envelope travels as headers: the class in
+// X-Arch21-Class and the remaining deadline — decremented by hopBudget —
+// in X-Arch21-Deadline-MS.
+func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	t0 := time.Now()
 	q := url.Values{}
 	for _, a := range p.Assignments() {
@@ -128,24 +156,46 @@ func (b *HTTPBackend) Do(id string, p core.Params) (serve.Response, error) {
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := b.client.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
+		return serve.Response{}, fmt.Errorf("router: %s: %v", b.base, err)
+	}
+	req.Header.Set(admit.HeaderClass, admit.ClassFrom(ctx).String())
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl) - hopBudget
+		if remaining <= 0 {
+			// The budget cannot survive the hop: this is a deadline shed,
+			// decided at the front-end instead of burning the wire.
+			return serve.Response{}, &admit.ShedError{
+				Class: admit.ClassFrom(ctx), Deadline: true, RetryAfter: hopBudget}
+		}
+		req.Header.Set(admit.HeaderDeadlineMS,
+			strconv.FormatFloat(math.Ceil(remaining.Seconds()*1e3), 'f', -1, 64))
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return serve.Response{}, ctxErr
+		}
 		return serve.Response{}, fmt.Errorf("router: %s: %w", b.base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return serve.Response{}, fmt.Errorf("router: %s /run/%s: %w", b.base, id,
-			&statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body))})
+			&statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body)),
+				retryAfter: resp.Header.Get("Retry-After")})
 	}
 	var env runEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		return serve.Response{}, fmt.Errorf("router: %s: bad envelope: %v", b.base, err)
 	}
+	class, _ := admit.ParseClass(env.Class) // absent/unknown defaults to interactive
 	return serve.Response{
 		ID:       env.ID,
 		Params:   env.Params,
 		Key:      env.Key,
+		Class:    class,
 		CacheHit: env.CacheHit,
 		Shared:   env.Shared,
 		Result:   core.Result{Headline: env.Headline, Findings: env.Findings},

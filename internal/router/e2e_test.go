@@ -9,6 +9,7 @@ package router
 // expose.
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync/atomic"
@@ -74,7 +75,7 @@ func TestClusterSweepExecutesEachPointExactlyOnce(t *testing.T) {
 	}()
 	sp := e2eSpec(t)
 
-	sum, err := sweep.Run(r, sp, nil)
+	sum, err := sweep.Run(context.Background(), r, sp, nil)
 	if err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
@@ -92,7 +93,7 @@ func TestClusterSweepExecutesEachPointExactlyOnce(t *testing.T) {
 
 	// Repeat sweep: every point is someone's tier-1 hit; no re-execution
 	// anywhere in the cluster.
-	sum2, err := sweep.Run(r, sp, nil)
+	sum2, err := sweep.Run(context.Background(), r, sp, nil)
 	if err != nil {
 		t.Fatalf("repeat sweep: %v", err)
 	}
@@ -111,11 +112,11 @@ type killableBackend struct {
 	dead atomic.Bool
 }
 
-func (k *killableBackend) Do(id string, p core.Params) (serve.Response, error) {
+func (k *killableBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	if k.dead.Load() {
 		return serve.Response{}, fmt.Errorf("backend killed")
 	}
-	return k.Backend.Do(id, p)
+	return k.Backend.Do(ctx, id, p)
 }
 
 func (k *killableBackend) Check() error {
@@ -145,7 +146,7 @@ func TestClusterSweepSurvivesReplicaKillMidSweep(t *testing.T) {
 	// fail over to ring successors; every grid point still completes.
 	emitted := 0
 	var points []sweep.Point
-	sum, err := sweep.Run(r, sp, func(pt sweep.Point) error {
+	sum, err := sweep.Run(context.Background(), r, sp, func(pt sweep.Point) error {
 		emitted++
 		points = append(points, pt)
 		if emitted == 16 {
@@ -184,14 +185,14 @@ type hangingBackend struct {
 	release chan struct{}
 }
 
-func (h *hangingBackend) Do(id string, p core.Params) (serve.Response, error) {
+func (h *hangingBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	if h.hung.Load() {
 		// Abandoned attempts unblock at test teardown and must not touch
 		// the (closing) engine.
 		<-h.release
 		return serve.Response{}, fmt.Errorf("wedged attempt abandoned")
 	}
-	return h.Backend.Do(id, p)
+	return h.Backend.Do(ctx, id, p)
 }
 
 // A wedged replica must not stall an entire sweep: points owned by the
@@ -221,7 +222,7 @@ func TestWedgedReplicaCannotStallSweep(t *testing.T) {
 	sp := e2eSpec(t)
 
 	t0 := time.Now()
-	sum, err := sweep.Run(r, sp, nil)
+	sum, err := sweep.Run(context.Background(), r, sp, nil)
 	if err != nil {
 		t.Fatalf("sweep with wedged replica: %v", err)
 	}
@@ -250,7 +251,7 @@ func TestClusterRestartServesFromTierTwoSnapshots(t *testing.T) {
 	dir := t.TempDir()
 	r, engines := newRegistryCluster(t, 3, dir, Config{})
 	sp := e2eSpec(t)
-	if _, err := sweep.Run(r, sp, nil); err != nil {
+	if _, err := sweep.Run(context.Background(), r, sp, nil); err != nil {
 		t.Fatalf("cold sweep: %v", err)
 	}
 	if got := totalExecutions(engines); got != 64 {
@@ -282,7 +283,7 @@ func TestClusterRestartServesFromTierTwoSnapshots(t *testing.T) {
 		t.Fatalf("restarted cluster warm-loaded %d entries, want >= 64", loaded)
 	}
 
-	sum, err := sweep.Run(r2, sp, nil)
+	sum, err := sweep.Run(context.Background(), r2, sp, nil)
 	if err != nil {
 		t.Fatalf("post-restart sweep: %v", err)
 	}

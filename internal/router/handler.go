@@ -27,6 +27,7 @@ type routedEnvelope struct {
 	ID        string      `json:"id"`
 	Params    core.Params `json:"params,omitempty"`
 	Key       string      `json:"key,omitempty"`
+	Class     string      `json:"class"`
 	CacheHit  bool        `json:"cache_hit"`
 	Shared    bool        `json:"shared"`
 	LatencyMS float64     `json:"latency_ms"`
@@ -55,8 +56,20 @@ func (r *Router) Handler() http.Handler {
 			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		resp, err := r.ServeWith(id, params)
+		// The front-end speaks the same QoS header contract as a replica
+		// (X-Arch21-Class, X-Arch21-Deadline-MS); HTTPBackend re-emits the
+		// envelope with the budget decremented per hop.
+		ctx, cancel, err := serve.RequestContext(req)
 		if err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		defer cancel()
+		resp, err := r.ServeWith(ctx, id, params)
+		if err != nil {
+			if serve.WriteShedHeaders(w, err) {
+				return
+			}
 			status := http.StatusBadGateway
 			var se *statusError
 			switch {
@@ -66,6 +79,12 @@ func (r *Router) Handler() http.Handler {
 				status = http.StatusBadRequest
 			case errors.As(err, &se):
 				status = se.status
+				// A replica's shed carried a backoff hint; re-emit it so
+				// the client behind the front-end sees the same contract a
+				// replica speaks directly.
+				if se.retryAfter != "" {
+					w.Header().Set("Retry-After", se.retryAfter)
+				}
 			case errors.Is(err, ErrNoBackends):
 				status = http.StatusServiceUnavailable
 			}
@@ -76,6 +95,7 @@ func (r *Router) Handler() http.Handler {
 			ID:        resp.ID,
 			Params:    resp.Params,
 			Key:       resp.Key,
+			Class:     resp.Class.String(),
 			CacheHit:  resp.CacheHit,
 			Shared:    resp.Shared,
 			LatencyMS: resp.Latency.Seconds() * 1e3,

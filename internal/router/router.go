@@ -16,6 +16,7 @@
 package router
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/serve"
@@ -156,32 +158,68 @@ func RouteKey(id string, p core.Params) string {
 func (r *Router) Owner(key string) int { return r.ring.Place(cluster.HashString(key)) }
 
 // ServeWith routes one request to the replica owning its cache key,
-// failing over along the ring on error, ejection, or timeout. It
-// satisfies sweep.Server, so sweeps fan out through the router unchanged.
-func (r *Router) ServeWith(id string, p core.Params) (serve.Response, error) {
+// failing over along the ring on error, ejection, or timeout. The
+// context's QoS envelope (class, deadline, cancellation) rides along to
+// the backend — over HTTP it travels as the X-Arch21-Class and
+// budget-decremented X-Arch21-Deadline-MS headers. A shed answered by a
+// replica (429) is a client-visible QoS verdict, not a replica failure:
+// no ejection, no failover. ServeWith satisfies sweep.Server, so sweeps
+// fan out through the router unchanged.
+func (r *Router) ServeWith(ctx context.Context, id string, p core.Params) (serve.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.requests.Add(1)
 
 	key := RouteKey(id, p)
 	chain := r.ring.PlaceK(cluster.HashString(key), 1+r.cfg.Retries)
 	var lastErr error
 	for attempt, b := range chain {
+		if err := ctx.Err(); err != nil {
+			// The caller is gone or out of budget: failing over would
+			// re-spend a dead request's work on a healthy replica.
+			return serve.Response{}, err
+		}
 		if !r.admit(b) {
 			continue
 		}
 		if attempt > 0 {
 			r.failovers.Add(1)
 		}
-		resp, err := r.do(b, id, p)
+		resp, err := r.do(ctx, b, id, p)
 		if err == nil {
 			r.noteSuccess(b)
 			return resp, nil
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return serve.Response{}, err
+		}
 		// Client errors are the caller's fault, not the replica's: do not
 		// eject, do not fail over (every replica shares the registry and
-		// would reject identically).
+		// would reject identically). A deadline shed (429, or an
+		// in-process ShedError with Deadline set) is in the same family:
+		// the budget is no better on a successor.
+		var shed *admit.ShedError
+		if errors.As(err, &shed) && shed.Deadline {
+			r.noteSuccess(b)
+			return serve.Response{}, err
+		}
 		if errors.Is(err, serve.ErrUnknownExperiment) || errors.Is(err, serve.ErrBadParams) || isHTTPClientError(err) {
 			r.noteSuccess(b)
 			return serve.Response{}, err
+		}
+		// A queue-full shed (in-process ShedError, or a replica's 503) is
+		// genuine pressure, so it does fail over — a sibling's queue may
+		// have room — but it is a *deliberate QoS verdict from a live
+		// replica*, not a fault: counting it toward ejection would turn
+		// sustained overload into a cascade (shedding replicas ejected,
+		// their keys dumped on the siblings, which then shed and get
+		// ejected too, until nothing serves). Health accounting stays
+		// untouched either way: not a failure, and not a success that
+		// would mask a flapping replica's real errors.
+		if errors.Is(err, admit.ErrShed) || isHTTPStatus(err, 503) {
+			lastErr = err
+			continue
 		}
 		r.noteFailure(b)
 		lastErr = err
@@ -193,8 +231,10 @@ func (r *Router) ServeWith(id string, p core.Params) (serve.Response, error) {
 	return serve.Response{}, fmt.Errorf("router: key %q failed on all %d candidates: %w", key, len(chain), lastErr)
 }
 
-// Serve routes a default-parameter request.
-func (r *Router) Serve(id string) (serve.Response, error) { return r.ServeWith(id, nil) }
+// Serve routes a default-parameter interactive request.
+func (r *Router) Serve(id string) (serve.Response, error) {
+	return r.ServeWith(context.Background(), id, nil)
+}
 
 // do runs one attempt under the per-attempt timeout. A backend that
 // neither answers nor errors within the window is treated as failed;
@@ -202,14 +242,14 @@ func (r *Router) Serve(id string) (serve.Response, error) { return r.ServeWith(i
 // goroutine-per-attempt is the price of hang protection for synchronous
 // backends; the timer is stopped eagerly so a fast hit does not leave a
 // multi-minute timer live until GC.
-func (r *Router) do(b int, id string, p core.Params) (serve.Response, error) {
+func (r *Router) do(ctx context.Context, b int, id string, p core.Params) (serve.Response, error) {
 	type outcome struct {
 		resp serve.Response
 		err  error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		resp, err := r.backends[b].Do(id, p)
+		resp, err := r.backends[b].Do(ctx, id, p)
 		ch <- outcome{resp, err}
 	}()
 	timer := time.NewTimer(r.cfg.Timeout)
@@ -217,6 +257,8 @@ func (r *Router) do(b int, id string, p core.Params) (serve.Response, error) {
 	select {
 	case out := <-ch:
 		return out.resp, out.err
+	case <-ctx.Done():
+		return serve.Response{}, ctx.Err()
 	case <-timer.C:
 		return serve.Response{}, fmt.Errorf("%w after %v on %s", errAttemptTimeout, r.cfg.Timeout, r.backends[b].Name())
 	}

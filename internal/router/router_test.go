@@ -6,6 +6,7 @@ package router
 // double proving the same over a real wire.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -61,7 +62,7 @@ func newFlaky(inner Backend, name string) *flakyBackend {
 	return &flakyBackend{inner: inner, name: name, rng: stats.NewRNG(99)}
 }
 
-func (f *flakyBackend) Do(id string, p core.Params) (serve.Response, error) {
+func (f *flakyBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	f.calls.Add(1)
 	f.mu.Lock()
 	hung := f.hung
@@ -83,7 +84,7 @@ func (f *flakyBackend) Do(id string, p core.Params) (serve.Response, error) {
 	if fail {
 		return serve.Response{}, errors.New("injected fault")
 	}
-	return f.inner.Do(id, p)
+	return f.inner.Do(ctx, id, p)
 }
 
 func (f *flakyBackend) Check() error {
@@ -301,7 +302,7 @@ func TestClientErrorsDoNotFailOverOrEject(t *testing.T) {
 	r, flakies, _ := newTestCluster(t, 2, Config{FailThreshold: 1})
 	// Unknown param against a registered zero-param fake runner: the
 	// engine resolves against the core registry, which errors.
-	_, err := r.ServeWith("E7", core.Params{"nope": 1})
+	_, err := r.ServeWith(context.Background(), "E7", core.Params{"nope": 1})
 	if err == nil {
 		t.Fatal("bad params should error")
 	}
@@ -354,7 +355,7 @@ func TestErrorRateIsMaskedByRetries(t *testing.T) {
 	flakies[1].errRate = 0.3
 	flakies[1].mu.Unlock()
 	for i := 0; i < 200; i++ {
-		if _, err := r.ServeWith(fmt.Sprintf("X%d", i%17), nil); err != nil {
+		if _, err := r.ServeWith(context.Background(), fmt.Sprintf("X%d", i%17), nil); err != nil {
 			t.Fatalf("request %d escaped the retry mask: %v", i, err)
 		}
 		*now = now.Add(time.Millisecond)
@@ -370,7 +371,7 @@ func TestLatencySpikeDoesNotFailRequests(t *testing.T) {
 	flakies[1].latency = 20 * time.Millisecond
 	flakies[1].mu.Unlock()
 	for i := 0; i < 5; i++ {
-		if _, err := r.ServeWith(fmt.Sprintf("S%d", i), nil); err != nil {
+		if _, err := r.ServeWith(context.Background(), fmt.Sprintf("S%d", i), nil); err != nil {
 			t.Fatalf("slow-but-alive backend failed request: %v", err)
 		}
 	}

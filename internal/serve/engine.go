@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/stats"
 )
@@ -32,8 +34,23 @@ type Config struct {
 	TTL time.Duration
 	// Workers bounds concurrent cold experiment runs (default 4).
 	Workers int
-	// Queue is the worker-pool queue depth (default 2*Workers).
+	// Queue is the per-class scheduler queue depth (default 16*Workers).
+	// A full interactive queue sheds (fail fast) — the default is sized
+	// so shedding means sustained overload, not a modest burst of
+	// distinct cold keys — while a full batch queue backpressures
+	// submitters.
 	Queue int
+	// Policy is the scheduling discipline (default admit.StrictPriority:
+	// interactive ahead of batch plus the token-bucket batch throttle).
+	// admit.SharedFIFO reproduces the old single-FIFO pool — the no-QoS
+	// baseline that lets batch pressure invert interactive latency.
+	Policy admit.Policy
+	// BatchRate throttles batch admissions to this rate (tokens/s; 0 =
+	// unthrottled). Tunable live via SetBatchRate — the knob the qos
+	// feedback controller turns to hold the interactive p99 at its SLO.
+	BatchRate float64
+	// BatchBurst is the token bucket depth (default max(1, Workers)).
+	BatchBurst float64
 	// SampleCap is the latency reservoir capacity per outcome class
 	// (default 4096).
 	SampleCap int
@@ -41,14 +58,15 @@ type Config struct {
 	// Defaults to the core registry; injectable for tests.
 	Runner func(id string) (core.Result, error)
 	// RunnerWith executes one experiment under a resolved parameter
-	// assignment. Defaults to the core registry's RunWith (or to Runner,
-	// ignoring params, when only Runner is injected); injectable for
-	// tests. Note that injecting a runner does not replace parameter
-	// resolution: ServeWith still resolves non-empty assignments against
-	// the core registry's schema for the ID, so a runner-only ID (one not
-	// registered in core) serves default (nil-params) requests fine but
-	// fails with ErrUnknownExperiment as soon as params are passed.
-	RunnerWith func(id string, p core.Params) (core.Result, error)
+	// assignment, honoring ctx cancellation. Defaults to the core
+	// registry's RunWith (or to Runner, ignoring params and ctx, when
+	// only Runner is injected); injectable for tests. Note that injecting
+	// a runner does not replace parameter resolution: ServeWith still
+	// resolves non-empty assignments against the core registry's schema
+	// for the ID, so a runner-only ID (one not registered in core) serves
+	// default (nil-params) requests fine but fails with
+	// ErrUnknownExperiment as soon as params are passed.
+	RunnerWith func(ctx context.Context, id string, p core.Params) (core.Result, error)
 	// SnapshotPath, when set, enables the tier-2 disk cache: NewEngine
 	// loads the snapshot file into the in-memory tier (a warm start —
 	// entries that fail to decode as Results are skipped), SaveSnapshot
@@ -58,14 +76,38 @@ type Config struct {
 	SnapshotPath string
 }
 
+// classCounters is one request class's slice of the engine's books. The
+// per-class conservation law — hits + deduped + sheds + executions ==
+// requests — holds for every class at quiescence: each admitted request
+// lands in exactly one bucket of its own class (a shed follower of a
+// shared flight counts as deduped; the leader owns the shed).
+type classCounters struct {
+	requests   atomic.Int64
+	hits       atomic.Int64
+	deduped    atomic.Int64
+	executions atomic.Int64
+	sheds      atomic.Int64
+
+	hitLat  *stats.LatencyRecorder
+	coldLat *stats.LatencyRecorder
+	allLat  *stats.LatencyRecorder
+	// winLat is the class's current *window* recorder, swapped out by
+	// TakeClassWindow: the live signal a feedback controller needs. The
+	// lifetime reservoirs above freeze once mature (replacement
+	// probability cap/n), so they must never drive control decisions.
+	winLat atomic.Pointer[stats.LatencyRecorder]
+}
+
 // Engine serves experiment results concurrently: cache first, then
-// singleflight-deduplicated execution on a bounded worker pool, with
-// per-request latency recorded so the engine can report its own tail.
+// singleflight-deduplicated execution on the class-based admission
+// scheduler (internal/admit), with per-request, per-class latency
+// recorded so the engine can report its own tail — split by class, which
+// is what proves batch pressure is not moving interactive p99.
 type Engine struct {
 	cache *Cache
 	fg    flightGroup
-	pool  *Pool
-	run   func(id string, p core.Params) (core.Result, error)
+	sched *admit.Scheduler
+	run   func(ctx context.Context, id string, p core.Params) (core.Result, error)
 
 	// snapMu serializes tier-2 snapshot writes (SaveSnapshot, the
 	// invalidation-coherence rewrites) so concurrent savers cannot
@@ -78,10 +120,8 @@ type Engine struct {
 	snapSaveFails atomic.Int64
 	snapLastSave  atomic.Int64 // unix nanos
 
-	requests   atomic.Int64
-	hits       atomic.Int64
-	deduped    atomic.Int64
-	executions atomic.Int64
+	classes   [2]classCounters
+	sampleCap int
 
 	hitLat  *stats.LatencyRecorder
 	coldLat *stats.LatencyRecorder
@@ -100,6 +140,9 @@ type Response struct {
 	// Key is the cache key the result is memoized under (the bare ID
 	// for default assignments).
 	Key string
+	// Class is the request class the engine served (and accounted) the
+	// request under.
+	Class admit.Class
 	// Result is the decoded experiment output.
 	Result core.Result
 	// CacheHit reports whether the result came straight from the cache.
@@ -112,13 +155,13 @@ type Response struct {
 }
 
 // runRegistry is the default RunnerWith: execute a registered experiment
-// under a resolved assignment (nil means defaults).
-func runRegistry(id string, p core.Params) (core.Result, error) {
+// under a resolved assignment (nil means defaults), honoring ctx.
+func runRegistry(ctx context.Context, id string, p core.Params) (core.Result, error) {
 	e, ok := core.ByID(id)
 	if !ok {
 		return core.Result{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
 	}
-	res, _, err := e.RunWith(p)
+	res, _, err := e.RunWith(ctx, p)
 	return res, err
 }
 
@@ -131,7 +174,7 @@ func NewEngine(cfg Config) *Engine {
 		cfg.Workers = 4
 	}
 	if cfg.Queue <= 0 {
-		cfg.Queue = 2 * cfg.Workers
+		cfg.Queue = 16 * cfg.Workers
 	}
 	if cfg.SampleCap <= 0 {
 		cfg.SampleCap = 4096
@@ -140,20 +183,36 @@ func NewEngine(cfg Config) *Engine {
 	if run == nil {
 		if cfg.Runner != nil {
 			runner := cfg.Runner
-			run = func(id string, _ core.Params) (core.Result, error) { return runner(id) }
+			run = func(_ context.Context, id string, _ core.Params) (core.Result, error) {
+				return runner(id)
+			}
 		} else {
 			run = runRegistry
 		}
 	}
 	e := &Engine{
-		cache:    NewCache(cfg.Shards, cfg.TTL),
-		pool:     NewPool(cfg.Workers, cfg.Queue),
+		cache: NewCache(cfg.Shards, cfg.TTL),
+		sched: admit.NewScheduler(admit.Config{
+			Workers:    cfg.Workers,
+			Queue:      cfg.Queue,
+			Policy:     cfg.Policy,
+			BatchRate:  cfg.BatchRate,
+			BatchBurst: cfg.BatchBurst,
+		}),
 		run:      run,
 		snapPath: cfg.SnapshotPath,
 		hitLat:   stats.NewLatencyRecorder(cfg.SampleCap, 1),
 		coldLat:  stats.NewLatencyRecorder(cfg.SampleCap, 2),
 		allLat:   stats.NewLatencyRecorder(cfg.SampleCap, 3),
 		started:  time.Now(),
+	}
+	e.sampleCap = cfg.SampleCap
+	for i := range e.classes {
+		c := &e.classes[i]
+		c.hitLat = stats.NewLatencyRecorder(cfg.SampleCap, uint64(10+3*i))
+		c.coldLat = stats.NewLatencyRecorder(cfg.SampleCap, uint64(11+3*i))
+		c.allLat = stats.NewLatencyRecorder(cfg.SampleCap, uint64(12+3*i))
+		c.winLat.Store(stats.NewLatencyRecorder(cfg.SampleCap, uint64(20+i)))
 	}
 	if e.snapPath != "" {
 		e.loadSnapshot()
@@ -218,11 +277,12 @@ func (e *Engine) dropOrSaveSnapshot() {
 }
 
 // Serve returns the result for one experiment ID at its default
-// parameters: from the cache when memoized, otherwise executed once (no
-// matter how many callers arrive concurrently) on the bounded pool and
-// memoized on the way out.
+// parameters and the interactive class: from the cache when memoized,
+// otherwise executed once (no matter how many callers arrive
+// concurrently) through the admission scheduler and memoized on the way
+// out.
 func (e *Engine) Serve(id string) (Response, error) {
-	return e.ServeWith(id, nil)
+	return e.ServeWith(context.Background(), id, nil)
 }
 
 // ServeWith serves one experiment under a parameter assignment (nil or
@@ -231,9 +291,19 @@ func (e *Engine) Serve(id string) (Response, error) {
 // distinct grid point is memoized — and singleflight-deduplicated —
 // independently, while explicit-default assignments share the bare-ID
 // entry with Serve.
-func (e *Engine) ServeWith(id string, p core.Params) (Response, error) {
+//
+// The context carries the request's QoS envelope: its class
+// (admit.WithClass; untagged requests are interactive), its deadline
+// (deadline-aware admission sheds a cold request whose projected queue
+// wait already exceeds it), and its cancellation (a canceled request
+// stops the underlying experiment at its next iteration boundary — cache
+// hits are served regardless, since they cost microseconds).
+func (e *Engine) ServeWith(ctx context.Context, id string, p core.Params) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t0 := time.Now()
-	e.requests.Add(1)
+	class := admit.ClassFrom(ctx)
 
 	key := id
 	var resolved core.Params
@@ -248,6 +318,11 @@ func (e *Engine) ServeWith(id string, p core.Params) (Response, error) {
 		}
 		key = exp.CacheKey(resolved)
 	}
+	// Requests are counted once validation has passed, so the per-class
+	// conservation law (hits+deduped+sheds+executions == requests) holds
+	// over everything that was actually admitted to the serving path.
+	cc := &e.classes[class]
+	cc.requests.Add(1)
 
 	if raw, ok := e.cache.Get(key); ok {
 		res, err := core.DecodeResult(raw)
@@ -256,21 +331,27 @@ func (e *Engine) ServeWith(id string, p core.Params) (Response, error) {
 			// to a fresh execution.
 			e.cache.Delete(key)
 		} else {
-			e.hits.Add(1)
+			cc.hits.Add(1)
 			lat := time.Since(t0)
-			e.observe(e.hitLat, lat)
-			return Response{ID: id, Params: resolved, Key: key,
+			e.observe(class, true, lat)
+			return Response{ID: id, Params: resolved, Key: key, Class: class,
 				Result: res, CacheHit: true, Latency: lat}, nil
 		}
 	}
 
-	return e.serveMiss(id, key, resolved, t0)
+	return e.serveMiss(ctx, id, key, resolved, t0)
 }
 
 // serveMiss is ServeWith's path after a cache miss: singleflight-
-// deduplicated execution on the bounded pool, memoizing on the way out.
-func (e *Engine) serveMiss(id, key string, p core.Params, t0 time.Time) (Response, error) {
-	var leaderHit bool
+// deduplicated execution through the admission scheduler, memoizing on
+// the way out. Exactly one per-class counter bucket is incremented per
+// caller: hit (late leader), deduped (follower, whatever the outcome),
+// execution (leader whose task ran, even to an error), or shed (leader
+// rejected at admission or canceled before start).
+func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t0 time.Time) (Response, error) {
+	class := admit.ClassFrom(ctx)
+	cc := &e.classes[class]
+	var leaderHit, executed bool
 	raw, err, shared := e.fg.Do(key, func() ([]byte, error) {
 		// A caller can become flight leader just after the previous
 		// leader memoized and left (it missed the cache before the Set
@@ -280,9 +361,10 @@ func (e *Engine) serveMiss(id, key string, p core.Params, t0 time.Time) (Respons
 			leaderHit = true
 			return raw, nil
 		}
-		return e.pool.Run(func() ([]byte, error) {
-			e.executions.Add(1)
-			res, err := e.run(id, p)
+		return e.sched.Run(ctx, func() ([]byte, error) {
+			executed = true
+			cc.executions.Add(1)
+			res, err := e.run(ctx, id, p)
 			if err != nil {
 				return nil, err
 			}
@@ -291,11 +373,16 @@ func (e *Engine) serveMiss(id, key string, p core.Params, t0 time.Time) (Respons
 			return enc, nil
 		})
 	})
+	if shared {
+		cc.deduped.Add(1)
+	} else if err != nil && !executed && !leaderHit {
+		// The leader was turned away before its task ran: a queue-full or
+		// deadline shed, a cancellation while queued, or a closed
+		// scheduler. All are sheds — admitted requests that did no work.
+		cc.sheds.Add(1)
+	}
 	if err != nil {
 		return Response{}, err
-	}
-	if shared {
-		e.deduped.Add(1)
 	}
 	res, err := core.DecodeResult(raw)
 	if err != nil {
@@ -303,41 +390,102 @@ func (e *Engine) serveMiss(id, key string, p core.Params, t0 time.Time) (Respons
 	}
 	lat := time.Since(t0)
 	if leaderHit && !shared {
-		e.hits.Add(1)
-		e.observe(e.hitLat, lat)
-		return Response{ID: id, Params: p, Key: key, Result: res,
+		cc.hits.Add(1)
+		e.observe(class, true, lat)
+		return Response{ID: id, Params: p, Key: key, Class: class, Result: res,
 			CacheHit: true, Latency: lat}, nil
 	}
-	e.observe(e.coldLat, lat)
-	return Response{ID: id, Params: p, Key: key, Result: res,
+	e.observe(class, false, lat)
+	return Response{ID: id, Params: p, Key: key, Class: class, Result: res,
 		Shared: shared, Latency: lat}, nil
 }
 
-func (e *Engine) observe(class *stats.LatencyRecorder, lat time.Duration) {
-	class.Observe(lat.Seconds())
-	e.allLat.Observe(lat.Seconds())
+func (e *Engine) observe(class admit.Class, hit bool, lat time.Duration) {
+	s := lat.Seconds()
+	cc := &e.classes[class]
+	if hit {
+		e.hitLat.Observe(s)
+		cc.hitLat.Observe(s)
+	} else {
+		e.coldLat.Observe(s)
+		cc.coldLat.Observe(s)
+	}
+	e.allLat.Observe(s)
+	cc.allLat.Observe(s)
+	cc.winLat.Load().Observe(s)
+}
+
+// TakeClassWindow returns the class's latency snapshot over the window
+// since the previous TakeClassWindow call and starts a fresh window.
+// This is the signal the SLO feedback controller must read: the
+// lifetime reservoirs in Metrics barely move once mature (a new
+// observation replaces a slot with probability cap/n), so a controller
+// fed from them would neither see a fresh violation nor a recovery. An
+// observation racing the swap may land in the retired window and be
+// dropped from both — harmless for a control signal.
+func (e *Engine) TakeClassWindow(class admit.Class) stats.LatencySnapshot {
+	cc := &e.classes[class]
+	fresh := stats.NewLatencyRecorder(e.sampleCap, uint64(30+int(class)))
+	return cc.winLat.Swap(fresh).Snapshot()
+}
+
+// SetBatchRate retunes the batch token-bucket rate live (<= 0 removes
+// the throttle) — the qos feedback controller's actuator.
+func (e *Engine) SetBatchRate(rate float64) { e.sched.SetBatchRate(rate) }
+
+// BatchRate returns the scheduler's current batch token-bucket rate.
+func (e *Engine) BatchRate() float64 { return e.sched.BatchRate() }
+
+// ClassMetrics is one request class's slice of the engine's books: the
+// conservation counters (hits + deduped + sheds + executions == requests
+// at quiescence) plus the class's own latency distributions.
+type ClassMetrics struct {
+	Requests   int64 `json:"requests"`
+	CacheHits  int64 `json:"cache_hits"`
+	Deduped    int64 `json:"deduped"`
+	Executions int64 `json:"executions"`
+	// Sheds counts requests rejected at admission: full interactive
+	// queue, projected wait past the request deadline, or cancellation
+	// before the work started.
+	Sheds int64 `json:"sheds"`
+	// QueueDepth is the class's current scheduler queue depth (a gauge).
+	QueueDepth int `json:"queue_depth"`
+	// HitLatency, ColdLatency, AllLatency are the class's latency
+	// snapshots (seconds).
+	HitLatency  stats.LatencySnapshot `json:"hit_latency"`
+	ColdLatency stats.LatencySnapshot `json:"cold_latency"`
+	AllLatency  stats.LatencySnapshot `json:"all_latency"`
 }
 
 // Metrics is a point-in-time engine health snapshot.
 type Metrics struct {
 	// UptimeSeconds is time since NewEngine.
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Requests counts Serve calls; CacheHits those answered from cache;
-	// Deduped those that piggybacked on an in-flight execution;
-	// Executions the underlying experiment runs actually performed.
+	// Requests counts validated Serve calls across classes; CacheHits
+	// those answered from cache; Deduped those that piggybacked on an
+	// in-flight execution; Executions the underlying experiment runs
+	// actually performed; Sheds requests rejected at admission.
 	Requests   int64 `json:"requests"`
 	CacheHits  int64 `json:"cache_hits"`
 	Deduped    int64 `json:"deduped"`
 	Executions int64 `json:"executions"`
-	// Workers is the pool's concurrency bound.
+	Sheds      int64 `json:"sheds"`
+	// Workers is the scheduler's concurrency bound.
 	Workers int `json:"workers"`
 	// Cache aggregates shard counters.
 	Cache CacheStats `json:"cache"`
-	// HitLatency, ColdLatency, AllLatency are per-class latency
+	// HitLatency, ColdLatency, AllLatency are cross-class latency
 	// snapshots (seconds).
 	HitLatency  stats.LatencySnapshot `json:"hit_latency"`
 	ColdLatency stats.LatencySnapshot `json:"cold_latency"`
 	AllLatency  stats.LatencySnapshot `json:"all_latency"`
+	// Classes splits the books by request class ("interactive",
+	// "batch") — the view that proves batch pressure is not moving
+	// interactive tail latency.
+	Classes map[string]ClassMetrics `json:"classes"`
+	// Scheduler is the admission scheduler's own snapshot: policy,
+	// queue depths, token bucket state, per-class service EWMAs.
+	Scheduler admit.Stats `json:"scheduler"`
 	// Snapshot reports the tier-2 disk cache (zero value when disabled).
 	Snapshot SnapshotStats `json:"snapshot"`
 }
@@ -362,17 +510,16 @@ type SnapshotStats struct {
 
 // Metrics returns current counters and latency snapshots.
 func (e *Engine) Metrics() Metrics {
-	return Metrics{
+	sched := e.sched.Stats()
+	m := Metrics{
 		UptimeSeconds: time.Since(e.started).Seconds(),
-		Requests:      e.requests.Load(),
-		CacheHits:     e.hits.Load(),
-		Deduped:       e.deduped.Load(),
-		Executions:    e.executions.Load(),
-		Workers:       e.pool.Workers(),
+		Workers:       sched.Workers,
 		Cache:         e.cache.Stats(),
 		HitLatency:    e.hitLat.Snapshot(),
 		ColdLatency:   e.coldLat.Snapshot(),
 		AllLatency:    e.allLat.Snapshot(),
+		Classes:       make(map[string]ClassMetrics, len(e.classes)),
+		Scheduler:     sched,
 		Snapshot: SnapshotStats{
 			Enabled:          e.snapPath != "",
 			Loaded:           e.snapLoaded.Load(),
@@ -382,11 +529,38 @@ func (e *Engine) Metrics() Metrics {
 			LastSaveUnixNano: e.snapLastSave.Load(),
 		},
 	}
+	for _, class := range admit.Classes() {
+		cc := &e.classes[class]
+		cm := ClassMetrics{
+			Requests:    cc.requests.Load(),
+			CacheHits:   cc.hits.Load(),
+			Deduped:     cc.deduped.Load(),
+			Executions:  cc.executions.Load(),
+			Sheds:       cc.sheds.Load(),
+			QueueDepth:  sched.Classes[class.String()].Queued,
+			HitLatency:  cc.hitLat.Snapshot(),
+			ColdLatency: cc.coldLat.Snapshot(),
+			AllLatency:  cc.allLat.Snapshot(),
+		}
+		m.Classes[class.String()] = cm
+		m.Requests += cm.Requests
+		m.CacheHits += cm.CacheHits
+		m.Deduped += cm.Deduped
+		m.Executions += cm.Executions
+		m.Sheds += cm.Sheds
+	}
+	return m
 }
 
 // Executions returns how many underlying experiment runs have happened
 // (the number singleflight and the cache exist to minimize).
-func (e *Engine) Executions() int64 { return e.executions.Load() }
+func (e *Engine) Executions() int64 {
+	var n int64
+	for i := range e.classes {
+		n += e.classes[i].executions.Load()
+	}
+	return n
+}
 
 // Invalidate drops an experiment's memoized results: the bare-ID entry
 // and every parameterized variant (keys "id?...") — from both tiers: the
@@ -410,5 +584,6 @@ func (e *Engine) Reset() {
 	e.dropOrSaveSnapshot()
 }
 
-// Close shuts down the worker pool. Serve must not be called after Close.
-func (e *Engine) Close() { e.pool.Close() }
+// Close shuts down the scheduler, draining queued work. Serve must not
+// be called after Close.
+func (e *Engine) Close() { e.sched.Close() }

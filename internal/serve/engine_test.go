@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -199,7 +200,7 @@ func TestEngineLateLeaderServedFromCache(t *testing.T) {
 	// the miss path as a fresh flight leader (exactly what happens when
 	// the first leader's Set lands between Serve's cache probe and
 	// fg.Do).
-	r, err := e.serveMiss("X1", "X1", nil, time.Now())
+	r, err := e.serveMiss(context.Background(), "X1", "X1", nil, time.Now())
 	if err != nil {
 		t.Fatalf("serveMiss: %v", err)
 	}
@@ -271,7 +272,7 @@ func TestEngineInvalidateCoversParameterizedEntries(t *testing.T) {
 		return fakeResult(id), nil
 	})
 	defer e.Close()
-	if _, err := e.ServeWith("E7", core.Params{"bces": 512}); err != nil {
+	if _, err := e.ServeWith(context.Background(), "E7", core.Params{"bces": 512}); err != nil {
 		t.Fatal(err)
 	}
 	e.Serve("E7")
@@ -279,7 +280,7 @@ func TestEngineInvalidateCoversParameterizedEntries(t *testing.T) {
 	if !e.Invalidate("E7") {
 		t.Fatal("Invalidate found nothing")
 	}
-	if r, _ := e.ServeWith("E7", core.Params{"bces": 512}); r.CacheHit {
+	if r, _ := e.ServeWith(context.Background(), "E7", core.Params{"bces": 512}); r.CacheHit {
 		t.Fatal("parameterized E7 entry survived Invalidate")
 	}
 	if r, _ := e.Serve("E7"); r.CacheHit {

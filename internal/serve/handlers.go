@@ -1,10 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 )
 
@@ -16,12 +22,21 @@ import (
 //	GET /run/{id}?param=n=v   override declared parameters (repeatable)
 //	GET /run/{id}?format=text rendered ASCII report
 //	GET /run/{id}?format=csv  table/figure as CSV
-//	GET /stats                engine metrics: counters, cache, p50/p99
+//	GET /stats                engine metrics: counters, cache, per-class p50/p99
 //
-// Every response is served through the engine, so hits, dedup, and
+// Every response is served through the engine, so hits, dedup, sheds, and
 // latency percentiles in /stats reflect real traffic. The sweep package
 // adds POST /sweep (parameter-grid fan-out, NDJSON streaming) on top of
 // the same engine; cmd/arch21d mounts both.
+//
+// QoS envelope: requests carry their class in the X-Arch21-Class header
+// ("interactive", the default, or "batch") and an optional remaining
+// deadline budget in X-Arch21-Deadline-MS — both propagated by the
+// routing front-end so a replica honors the hop-decremented budget the
+// caller has left. The engine's admission scheduler may shed instead of
+// serve: a full interactive queue answers 503, a deadline no projected
+// queue wait can meet answers 429, both with a Retry-After hint; a run
+// canceled mid-flight by its deadline answers 504.
 
 // ParamInfo is one declared parameter in an /experiments row.
 type ParamInfo struct {
@@ -80,12 +95,68 @@ type runEnvelope struct {
 	ID        string      `json:"id"`
 	Params    core.Params `json:"params,omitempty"`
 	Key       string      `json:"key,omitempty"`
+	Class     string      `json:"class"`
 	CacheHit  bool        `json:"cache_hit"`
 	Shared    bool        `json:"shared"`
 	LatencyMS float64     `json:"latency_ms"`
 	Headline  *float64    `json:"headline,omitempty"`
 	Findings  []string    `json:"findings,omitempty"`
 	Report    string      `json:"report"`
+}
+
+// RequestContext derives a request's QoS context from its headers: the
+// class from X-Arch21-Class and the remaining deadline budget from
+// X-Arch21-Deadline-MS, layered onto the request's own cancellation.
+// Shared by the engine's handlers and the routing front-end so both
+// faces of the API speak the same header contract. The returned cancel
+// must be called when the request finishes.
+func RequestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	class, err := admit.ParseClass(r.Header.Get(admit.HeaderClass))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := admit.WithClass(r.Context(), class)
+	if h := r.Header.Get(admit.HeaderDeadlineMS); h != "" {
+		ms, err := strconv.ParseFloat(h, 64)
+		if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) || ms <= 0 {
+			return nil, nil, fmt.Errorf("serve: bad %s header %q (want a positive millisecond budget)",
+				admit.HeaderDeadlineMS, h)
+		}
+		ctx, cancel := context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+// WriteShedHeaders maps an admission error onto the HTTP response: 503
+// for a full queue, 429 for a deadline the projected wait cannot meet —
+// both with a Retry-After hint (whole seconds, minimum 1) — and 504 for
+// a request whose own deadline expired in flight. It reports whether err
+// was a QoS outcome it handled.
+func WriteShedHeaders(w http.ResponseWriter, err error) bool {
+	var shed *admit.ShedError
+	switch {
+	case errors.As(err, &shed):
+		secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		status := http.StatusServiceUnavailable
+		if shed.Deadline {
+			status = http.StatusTooManyRequests
+		}
+		WriteJSON(w, status, map[string]string{"error": err.Error()})
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		WriteJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+		return true
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is a formality.
+		WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return true
+	}
+	return false
 }
 
 // Handler returns the engine's HTTP API.
@@ -104,8 +175,17 @@ func (e *Engine) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		resp, err := e.ServeWith(id, params)
+		ctx, cancel, err := RequestContext(r)
 		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		defer cancel()
+		resp, err := e.ServeWith(ctx, id, params)
+		if err != nil {
+			if WriteShedHeaders(w, err) {
+				return
+			}
 			status := http.StatusInternalServerError
 			switch {
 			case errors.Is(err, ErrUnknownExperiment):
@@ -122,6 +202,7 @@ func (e *Engine) Handler() http.Handler {
 				ID:        resp.ID,
 				Params:    resp.Params,
 				Key:       resp.Key,
+				Class:     resp.Class.String(),
 				CacheHit:  resp.CacheHit,
 				Shared:    resp.Shared,
 				LatencyMS: resp.Latency.Seconds() * 1e3,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -15,7 +16,7 @@ func newParamTestEngine(execs *atomic.Int64) *Engine {
 	return NewEngine(Config{
 		Shards:  4,
 		Workers: 2,
-		RunnerWith: func(id string, p core.Params) (core.Result, error) {
+		RunnerWith: func(_ context.Context, id string, p core.Params) (core.Result, error) {
 			execs.Add(1)
 			f := id
 			for _, name := range p.SortedNames() {
@@ -33,7 +34,7 @@ func TestServeWithMemoizesPerPoint(t *testing.T) {
 	e := newParamTestEngine(&execs)
 	defer e.Close()
 
-	a, err := e.ServeWith("E7", core.Params{"bces": 512})
+	a, err := e.ServeWith(context.Background(), "E7", core.Params{"bces": 512})
 	if err != nil {
 		t.Fatalf("ServeWith: %v", err)
 	}
@@ -43,14 +44,14 @@ func TestServeWithMemoizesPerPoint(t *testing.T) {
 	if a.Params["f"] != 0.975 {
 		t.Fatalf("defaults not resolved: %v", a.Params)
 	}
-	b, err := e.ServeWith("E7", core.Params{"bces": 1024})
+	b, err := e.ServeWith(context.Background(), "E7", core.Params{"bces": 1024})
 	if err != nil {
 		t.Fatalf("ServeWith: %v", err)
 	}
 	if b.CacheHit {
 		t.Fatal("distinct point must not hit the first point's entry")
 	}
-	again, err := e.ServeWith("E7", core.Params{"bces": 512})
+	again, err := e.ServeWith(context.Background(), "E7", core.Params{"bces": 512})
 	if err != nil {
 		t.Fatalf("ServeWith: %v", err)
 	}
@@ -75,7 +76,7 @@ func TestServeWithDefaultsSharesBareIDEntry(t *testing.T) {
 	if _, err := e.Serve("E1"); err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
-	r, err := e.ServeWith("E1", core.Params{"gens": 6})
+	r, err := e.ServeWith(context.Background(), "E1", core.Params{"gens": 6})
 	if err != nil {
 		t.Fatalf("ServeWith: %v", err)
 	}
@@ -92,13 +93,13 @@ func TestServeWithRejectsBadParams(t *testing.T) {
 	e := newParamTestEngine(&execs)
 	defer e.Close()
 
-	if _, err := e.ServeWith("E1", core.Params{"bogus": 1}); !errors.Is(err, ErrBadParams) {
+	if _, err := e.ServeWith(context.Background(), "E1", core.Params{"bogus": 1}); !errors.Is(err, ErrBadParams) {
 		t.Fatalf("unknown param: got %v, want ErrBadParams", err)
 	}
-	if _, err := e.ServeWith("E1", core.Params{"gens": 99}); !errors.Is(err, ErrBadParams) {
+	if _, err := e.ServeWith(context.Background(), "E1", core.Params{"gens": 99}); !errors.Is(err, ErrBadParams) {
 		t.Fatalf("out of range: got %v, want ErrBadParams", err)
 	}
-	if _, err := e.ServeWith("nope", core.Params{"x": 1}); !errors.Is(err, ErrUnknownExperiment) {
+	if _, err := e.ServeWith(context.Background(), "nope", core.Params{"x": 1}); !errors.Is(err, ErrUnknownExperiment) {
 		t.Fatalf("unknown id: got %v, want ErrUnknownExperiment", err)
 	}
 	if got := execs.Load(); got != 0 {
@@ -113,14 +114,14 @@ func TestServeWithMemoizesFindingsOnlyResult(t *testing.T) {
 	e := newParamTestEngine(&execs)
 	defer e.Close()
 
-	cold, err := e.ServeWith("E20", core.Params{"n": 64})
+	cold, err := e.ServeWith(context.Background(), "E20", core.Params{"n": 64})
 	if err != nil {
 		t.Fatalf("ServeWith: %v", err)
 	}
 	if cold.Result.Table != nil || cold.Result.Figure != nil {
 		t.Fatalf("fixture should be findings-only: %+v", cold.Result)
 	}
-	hit, err := e.ServeWith("E20", core.Params{"n": 64})
+	hit, err := e.ServeWith(context.Background(), "E20", core.Params{"n": 64})
 	if err != nil {
 		t.Fatalf("ServeWith: %v", err)
 	}

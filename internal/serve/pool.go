@@ -3,18 +3,27 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool is a bounded worker pool: at most Workers tasks execute at once and
-// excess submissions queue. It bounds the compute an engine will spend on
-// concurrent cold runs — the admission-control half of tail-predictable
-// serving (unbounded concurrency is how p99 dies).
+// excess submissions queue. It was the engine's original admission control
+// — a single FIFO shared by all callers — and survives as a standalone
+// utility now that the engine schedules through internal/admit's
+// class-based scheduler (which supersedes it for serving: the FIFO is
+// exactly the discipline that lets a 4096-point sweep starve interactive
+// traffic).
 type Pool struct {
 	tasks   chan func()
+	quit    chan struct{}
 	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
+	once    sync.Once
 	workers int
+	// inflight counts Submit calls between entry and return, so Close
+	// can wait out a submitter whose send races the shutdown drain — a
+	// task whose Submit returned nil is never dropped.
+	inflight atomic.Int64
 }
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -29,37 +38,70 @@ func NewPool(n, queue int) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan func(), queue), workers: n}
+	p := &Pool{tasks: make(chan func(), queue), quit: make(chan struct{}), workers: n}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
-		go func() {
-			defer p.wg.Done()
-			for task := range p.tasks {
-				task()
-			}
-		}()
+		go p.worker()
 	}
 	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		// Prefer queued work so Close drains the queue before exiting.
+		select {
+		case task := <-p.tasks:
+			task()
+			continue
+		default:
+		}
+		select {
+		case task := <-p.tasks:
+			task()
+		case <-p.quit:
+			// Drain whatever is still queued (including a send that won
+			// its race against Close), then exit.
+			for {
+				select {
+				case task := <-p.tasks:
+					task()
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
 // Submit enqueues a task, blocking while the queue is full. It returns
-// ErrPoolClosed after Close.
+// ErrPoolClosed after Close — including to submitters already blocked on
+// a full queue when Close lands.
+//
+// Submit holds no lock while blocked: a submitter waiting out a full
+// queue cannot stall unrelated submitters or Close. (The original
+// implementation held the pool mutex across the channel send, so one
+// blocked Submit serialized every other submitter — and wedged Close —
+// behind the queue's head of line.)
 func (p *Pool) Submit(task func()) error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+	// After Close, quit is the only ready case here, so a late Submit
+	// deterministically errors without ever reaching the send below.
+	select {
+	case <-p.quit:
+		return ErrPoolClosed
+	default:
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	case <-p.quit:
 		return ErrPoolClosed
 	}
-	// Holding the lock across the send keeps Close's channel close from
-	// racing an in-flight Submit. Queue-full blocking therefore also
-	// briefly blocks other submitters — acceptable for this engine, where
-	// queue depth is sized to the worker count.
-	defer p.mu.Unlock()
-	p.tasks <- task
-	return nil
 }
 
 // Run executes task on the pool and waits for it, returning its result.
@@ -77,15 +119,36 @@ func (p *Pool) Run(task func() ([]byte, error)) ([]byte, error) {
 	return val, err
 }
 
-// Close stops accepting tasks and waits for queued ones to drain.
+// Close stops accepting tasks and waits for queued ones to drain. It is
+// idempotent and never blocks behind a full queue's blocked submitters
+// (they are released with ErrPoolClosed instead).
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	close(p.tasks)
-	p.mu.Unlock()
+	p.once.Do(func() { close(p.quit) })
 	p.wg.Wait()
+	// A Submit racing Close can win its buffered send just as the
+	// workers exit. Drain until no submitter is still mid-Submit AND the
+	// queue is empty, so a task whose Submit returned nil is never
+	// silently dropped (every parked submitter resolves promptly now
+	// that quit is closed: it either errors out or its send is received
+	// here).
+	for {
+		select {
+		case task := <-p.tasks:
+			task()
+			continue
+		default:
+		}
+		if p.inflight.Load() == 0 {
+			// One last drain: a send may have landed between the empty
+			// probe above and the inflight read.
+			select {
+			case task := <-p.tasks:
+				task()
+				continue
+			default:
+				return
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
 }

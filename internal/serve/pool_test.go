@@ -72,3 +72,69 @@ func TestPoolCloseIdempotent(t *testing.T) {
 	p.Close()
 	p.Close()
 }
+
+// Regression test for the head-of-line Submit bug: the original Submit
+// held the pool mutex across its blocking channel send, so one submitter
+// parked on a full queue serialized every other submitter — and wedged
+// Close — behind it. With the fix, concurrent submitters on a full queue
+// block independently (no lock held), and Close releases all of them
+// with ErrPoolClosed immediately, even while the workers are still
+// stalled on the task that filled the queue.
+func TestPoolFullQueueDoesNotStallUnrelatedSubmitters(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(func() { close(running); <-gate }); err != nil {
+		t.Fatalf("Submit worker-pinning task: %v", err)
+	}
+	<-running
+	if err := p.Submit(func() {}); err != nil { // fills the 1-slot queue
+		t.Fatalf("Submit queue-filling task: %v", err)
+	}
+
+	// Two submitters park on the full queue concurrently.
+	errs := make(chan error, 2)
+	var started sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			errs <- p.Submit(func() {})
+		}()
+	}
+	started.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("Submit on a full queue returned early: %v", err)
+	default:
+	}
+
+	// Close must not wait behind the blocked submitters (the old code
+	// deadlocked here until the worker drained): both get ErrPoolClosed
+	// promptly, while the worker is still pinned.
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != ErrPoolClosed {
+			t.Fatalf("blocked submitter got %v, want ErrPoolClosed", err)
+		}
+	}
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a worker task was still running")
+	default:
+	}
+	close(gate) // release the worker; Close drains the queued task and returns
+	<-closed
+}
+
+func TestPoolWorkersAccessorAndClamps(t *testing.T) {
+	p := NewPool(0, -1) // clamps to 1 worker, 0 queue
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1 (clamped)", p.Workers())
+	}
+	if _, err := p.Run(func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -100,10 +100,14 @@ func Handler(srv Server) http.Handler {
 			return nil
 		}
 
-		sum, err := Run(srv, sp, func(pt Point) error {
+		// Run under the request context: a gone client cancels queued AND
+		// in-flight grid points (the engine's runner observes the
+		// cancellation at its next iteration boundary), and the sweep's
+		// points are admitted as batch class by the engine's scheduler.
+		sum, err := Run(r.Context(), srv, sp, func(pt Point) error {
 			// A gone client must stop the sweep, not leave it grinding
-			// through the rest of the grid; Run aborts queued points on
-			// the first emit error.
+			// through the rest of the grid; Run aborts on the first emit
+			// error.
 			if err := r.Context().Err(); err != nil {
 				return err
 			}

@@ -3,9 +3,11 @@
 // expands their cross product in row-major order (first axis slowest),
 // runs every grid point through serve.Engine.ServeWith — so each point is
 // validated against the experiment's declared schema, memoized under a
-// params-folded cache key, deduplicated by singleflight, and bounded by
-// the engine's worker pool — and aggregates the per-point results into one
-// combined report.Table (plus a report.Figure for 1- and 2-axis sweeps).
+// params-folded cache key, deduplicated by singleflight, and admitted as
+// batch class through the engine's QoS scheduler (a sweep can never
+// starve interactive traffic) — and aggregates the per-point results into
+// one combined report.Table (plus a report.Figure for 1- and 2-axis
+// sweeps).
 // Points stream to the caller in grid order as they complete, which is
 // what cmd/arch21's sweep subcommand prints and what the POST /sweep
 // NDJSON endpoint writes line by line. The whole pipeline is
@@ -15,6 +17,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -250,12 +254,12 @@ func (sp Spec) Grid() []core.Params {
 }
 
 // Server is the serving surface a sweep fans out over: anything that can
-// serve one (experiment, assignment) point. The in-process serve.Engine
-// satisfies it, and so does router.Router — which is how a POST /sweep
-// against a routing front-end lands each grid point on its owning
-// replica.
+// serve one (experiment, assignment) point under a request context. The
+// in-process serve.Engine satisfies it, and so does router.Router — which
+// is how a POST /sweep against a routing front-end lands each grid point
+// on its owning replica.
 type Server interface {
-	ServeWith(id string, p core.Params) (serve.Response, error)
+	ServeWith(ctx context.Context, id string, p core.Params) (serve.Response, error)
 }
 
 // Point is one completed grid point, as streamed to the caller.
@@ -295,14 +299,30 @@ type Summary struct {
 // Run executes the sweep on the server (an engine or a router), streaming
 // each completed point to emit (in grid order) and returning the
 // aggregate. Points run concurrently — bounded by Spec.Parallelism and,
-// for cold compute, by the engine's worker pool — but emission is
+// for cold compute, by the engine's admission scheduler — but emission is
 // strictly ordered, so output is deterministic. A nil emit just skips
 // streaming. The first point error aborts the sweep.
-func Run(srv Server, sp Spec, emit func(Point) error) (Summary, error) {
+//
+// Grid points run as batch class (unless ctx carries an explicit class
+// already): a sweep is bulk work, and the engine's scheduler must never
+// let it starve interactive traffic. When the sweep aborts — a point
+// fails, emit errors (the NDJSON client hung up), or ctx itself is
+// canceled — the derived context is canceled too, so points already
+// executing stop at their next iteration boundary instead of grinding to
+// completion: cancellation reaches running work, not just queued points.
+func Run(ctx context.Context, srv Server, sp Spec, emit func(Point) error) (Summary, error) {
 	exp, err := sp.Validate()
 	if err != nil {
 		return Summary{}, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, tagged := admit.ClassFromContext(ctx); !tagged {
+		ctx = admit.WithClass(ctx, admit.Batch)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	t0 := time.Now()
 	grid := sp.Grid()
 	par := sp.Parallelism
@@ -329,10 +349,15 @@ func Run(srv Server, sp Spec, emit func(Point) error) (Summary, error) {
 	// doomed (a point failed or the consumer went away), so an abandoned
 	// large sweep stops occupying the engine instead of grinding through
 	// thousands of results nobody will read. In-flight points (at most
-	// par) still drain. par fixed workers pull indices off a channel —
-	// not one goroutine per point, which would stack up O(grid)
-	// goroutines per request just to block on a semaphore.
+	// par) are canceled through ctx and stop at their next iteration
+	// boundary. par fixed workers pull indices off a channel — not one
+	// goroutine per point, which would stack up O(grid) goroutines per
+	// request just to block on a semaphore.
 	var aborted atomic.Bool
+	abort := func() {
+		aborted.Store(true)
+		cancel()
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
@@ -340,12 +365,12 @@ func Run(srv Server, sp Spec, emit func(Point) error) (Summary, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if aborted.Load() {
+				if aborted.Load() || ctx.Err() != nil {
 					results[i] = outcome{err: errAborted}
 					close(done[i])
 					continue
 				}
-				resp, err := srv.ServeWith(sp.ID, grid[i])
+				resp, err := srv.ServeWith(ctx, sp.ID, grid[i])
 				results[i] = outcome{resp, err}
 				close(done[i])
 			}
@@ -365,7 +390,7 @@ func Run(srv Server, sp Spec, emit func(Point) error) (Summary, error) {
 		<-done[i]
 		out := results[i]
 		if out.err != nil {
-			aborted.Store(true)
+			abort()
 			return Summary{}, fmt.Errorf("sweep: %s point %d: %w", sp.ID, i, out.err)
 		}
 		pt := Point{
@@ -382,7 +407,7 @@ func Run(srv Server, sp Spec, emit func(Point) error) (Summary, error) {
 		}
 		if emit != nil {
 			if err := emit(pt); err != nil {
-				aborted.Store(true)
+				abort()
 				return Summary{}, err
 			}
 		}

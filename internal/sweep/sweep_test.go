@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -20,7 +21,7 @@ func countingEngine(execs *atomic.Int64) *serve.Engine {
 	return serve.NewEngine(serve.Config{
 		Shards:  4,
 		Workers: 4,
-		RunnerWith: func(id string, p core.Params) (core.Result, error) {
+		RunnerWith: func(_ context.Context, id string, p core.Params) (core.Result, error) {
 			execs.Add(1)
 			sum := 0.0
 			for _, name := range p.SortedNames() {
@@ -206,7 +207,7 @@ func TestSweepExecutesEachUniquePointOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := Run(eng, sp, nil)
+	first, err := Run(context.Background(), eng, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestSweepExecutesEachUniquePointOnce(t *testing.T) {
 	if got := execs.Load(); got != 8 {
 		t.Fatalf("cold sweep executions = %d, want 8", got)
 	}
-	second, err := Run(eng, sp, nil)
+	second, err := Run(context.Background(), eng, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestSweepExecutesEachUniquePointOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(eng, overlap, nil); err != nil {
+	if _, err := Run(context.Background(), eng, overlap, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Shared points: (0.9,256) and (0.99,256); new: (0.9,512), (0.99,512).
@@ -253,7 +254,7 @@ func TestSweepDeterministicAndOrdered(t *testing.T) {
 		t.Fatal(err)
 	}
 	var order []int
-	cold, err := Run(eng, sp, func(pt Point) error {
+	cold, err := Run(context.Background(), eng, sp, func(pt Point) error {
 		order = append(order, pt.Index)
 		return nil
 	})
@@ -265,7 +266,7 @@ func TestSweepDeterministicAndOrdered(t *testing.T) {
 			t.Fatalf("stream order %v not grid order", order)
 		}
 	}
-	warm, err := Run(eng, sp, nil)
+	warm, err := Run(context.Background(), eng, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestSweepRealExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := Run(eng, sp, nil)
+	sum, err := Run(context.Background(), eng, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestSweepAbortSkipsQueuedPoints(t *testing.T) {
 	eng := serve.NewEngine(serve.Config{
 		Shards:  4,
 		Workers: 1,
-		RunnerWith: func(id string, p core.Params) (core.Result, error) {
+		RunnerWith: func(_ context.Context, id string, p core.Params) (core.Result, error) {
 			execs.Add(1)
 			time.Sleep(time.Millisecond)
 			return core.Result{Findings: []string{"x 1"}}, nil
@@ -341,7 +342,7 @@ func TestSweepAbortSkipsQueuedPoints(t *testing.T) {
 	}
 	sp.Parallelism = 1
 	wantErr := fmt.Errorf("client went away")
-	_, err = Run(eng, sp, func(pt Point) error { return wantErr })
+	_, err = Run(context.Background(), eng, sp, func(pt Point) error { return wantErr })
 	if err == nil || !strings.Contains(err.Error(), "client went away") {
 		t.Fatalf("Run error = %v", err)
 	}
@@ -364,7 +365,7 @@ func TestSweepClampsParallelism(t *testing.T) {
 	}
 	sp.Parallelism = 1 << 30
 	before := runtime.NumGoroutine()
-	sum, err := Run(eng, sp, nil)
+	sum, err := Run(context.Background(), eng, sp, nil)
 	if err != nil {
 		t.Fatalf("Run with huge Parallelism: %v", err)
 	}
@@ -381,7 +382,7 @@ func TestSweepClampsParallelism(t *testing.T) {
 // declared headline is the measured fraction.
 func TestHeadlinePrefersDeclaredMetric(t *testing.T) {
 	e, _ := core.ByID("E1")
-	res := e.Run()
+	res := e.Run(context.Background())
 	if res.Headline == nil {
 		t.Fatal("E1 should declare a headline")
 	}

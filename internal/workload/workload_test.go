@@ -292,3 +292,13 @@ func TestDistinctAssignments(t *testing.T) {
 		t.Fatalf("empty trace DistinctAssignments = %d, want 0", got)
 	}
 }
+
+func TestKernelStringAndDetectorOps(t *testing.T) {
+	ks := Kernels()
+	if len(ks) == 0 || ks[0].String() != "kernel("+ks[0].Name+")" {
+		t.Fatalf("Kernel.String drifted: %v", ks[0].String())
+	}
+	if got := NewEWMADetector(0.05, 6).OpsPerSample(); got != 8 {
+		t.Fatalf("EWMADetector.OpsPerSample = %v, want 8", got)
+	}
+}
