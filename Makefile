@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep \
-	loadtest loadtest-colocation bench-baseline bench-check cover lint fuzz fuzz-smoke clean
+	loadtest loadtest-colocation bench-baseline bench-check cover lint metrics-smoke \
+	fuzz fuzz-smoke clean
 
 all: check
 
@@ -22,10 +23,11 @@ race:
 	$(GO) test -race ./...
 
 # docs-check fails when DESIGN.md §2 drifts from the experiment registry,
-# §8 drifts from the admit package's policy/class lists, or a package
-# loses its godoc comment.
+# §8 drifts from the admit package's policy/class lists, §9 drifts from
+# the obs metric registries or event vocabulary, or a package loses its
+# godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestQoSDocsCoverAdmit' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race
@@ -47,11 +49,13 @@ loadtest:
 	$(GO) run ./cmd/arch21 loadtest -scenario $(SCENARIO) -duration $(DURATION)
 
 # loadtest-colocation runs the QoS colocation scenario (warmed
-# interactive hammer + concurrent batch sweep-storm) and writes the
-# per-class BENCH report — the artifact CI uploads (informational until
-# a colocation baseline is committed).
+# interactive hammer + concurrent batch sweep-storm) with the live
+# feedback controller attached and writes the per-class BENCH report —
+# its events field carries the controller's halve/reclaim timeline.
+# The artifact CI uploads (informational until a colocation baseline is
+# committed).
 loadtest-colocation:
-	$(GO) run ./cmd/arch21 loadtest -scenario colocation -duration 2s -maxprocs 1 -json BENCH_colocation.json
+	$(GO) run ./cmd/arch21 loadtest -scenario colocation -duration 2s -maxprocs 1 -lc-slo 50ms -json BENCH_colocation.json
 
 # bench-baseline refreshes the committed perf baseline CI's bench-smoke
 # job gates against: warm-hammer plus the routed cluster-scatter
@@ -74,9 +78,26 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# lint runs the pinned staticcheck CI uses (downloads on first run).
+# lint runs the pinned staticcheck CI uses (downloads on first run),
+# plus the promlint-style exposition checks on both registries.
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+	$(GO) test -run 'TestMetricsExpositionClean|TestRouterMetricsExpositionClean|TestLint' ./internal/serve ./internal/router ./internal/obs
+
+# metrics-smoke boots a real arch21d, scrapes /metrics while it serves,
+# and fails on any promlint-style exposition problem. The scrape is left
+# in /tmp/metrics-smoke.prom for inspection.
+metrics-smoke:
+	$(GO) build -o /tmp/arch21d-smoke ./cmd/arch21d
+	@/tmp/arch21d-smoke -addr 127.0.0.1:18021 -lc-slo 50ms & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18021/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -sf http://127.0.0.1:18021/run/E3 >/dev/null; \
+	curl -sf http://127.0.0.1:18021/run/E3 >/dev/null; \
+	curl -sf http://127.0.0.1:18021/metrics -o /tmp/metrics-smoke.prom; rc=$$?; \
+	kill $$pid 2>/dev/null; \
+	[ $$rc -eq 0 ] || { echo "metrics-smoke: scrape failed"; exit 1; }
+	$(GO) run ./cmd/arch21 metricslint /tmp/metrics-smoke.prom
 
 # fuzz runs every native fuzz target for FUZZTIME each (the local
 # acceptance bar). This target is the one authoritative fuzz-target

@@ -8,17 +8,22 @@ package main
 // BENCH_baseline.json.
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/admit"
 	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/router"
 	"repro/internal/serve"
+	"repro/internal/stats"
 )
 
 func cmdLoadtest(args []string) {
@@ -35,6 +40,7 @@ func cmdLoadtest(args []string) {
 	class := fs.String("class", "", "force the class of the scenario's primary request stream: interactive or batch (default: the catalog's per-variant classes)")
 	seed := fs.Uint64("seed", 0, "override the scenario seed")
 	workers := fs.Int("workers", 4, "in-process engine worker-pool size")
+	lcSLO := fs.Duration("lc-slo", 0, "attach the QoS feedback controller to the in-process engine at this interactive p99 SLO; its decisions land in the report's events timeline (0 = off)")
 	maxprocs := fs.Int("maxprocs", 0, "pin GOMAXPROCS for the run (0 = leave alone; CI pins 1 so baselines compare across machines)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr,
@@ -91,6 +97,24 @@ func cmdLoadtest(args []string) {
 	default:
 		eng := serve.NewEngine(serve.Config{Workers: *workers})
 		defer eng.Close()
+		if *lcSLO > 0 {
+			// The same feedback loop arch21d -lc-slo runs, attached to the
+			// measured engine: its halve/reclaim decisions are recorded into
+			// the engine's event ring, which load.Run captures into the
+			// report — the controller-decision timeline the colocation
+			// artifact carries.
+			sup := &qos.Supervisor{
+				Ctrl:     qos.NewRateController(lcSLO.Seconds(), 256, 0.1, 1e6),
+				Window:   func() stats.LatencySnapshot { return eng.TakeClassWindow(admit.Interactive) },
+				Apply:    eng.SetBatchRate,
+				Events:   eng.Events(),
+				Interval: 100 * time.Millisecond,
+			}
+			eng.SetBatchRate(sup.Ctrl.Rate())
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go sup.Run(ctx)
+		}
 		tgt = load.NewEngineTarget(eng)
 	}
 
@@ -142,6 +166,25 @@ func cmdLoadtest(args []string) {
 			fmtLatency(cm.Latency.P50), fmtLatency(cm.Latency.P99), cm.Errors)
 	}
 	fmt.Printf("  calibration %.3g hash-bytes/s\n", rep.CalibrationBPS)
+	if n := len(rep.Events); n > 0 {
+		byType := map[string]int{}
+		for _, ev := range rep.Events {
+			byType[ev.Type]++
+		}
+		fmt.Printf("  events      %d captured (", n)
+		first := true
+		for _, t := range obs.EventTypes() {
+			if byType[t] == 0 {
+				continue
+			}
+			if !first {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %d", t, byType[t])
+			first = false
+		}
+		fmt.Println(")")
+	}
 
 	if *jsonOut != "" {
 		write := func() error { return load.WriteFile(*jsonOut, rep) }

@@ -13,6 +13,9 @@
 //	arch21 sweep -id E7 -param f=0.9,0.99 -param bces=64,256 -v
 //	arch21 loadtest -scenario warm-hammer -duration 2s -json bench.json
 //	arch21 benchcmp -tolerance 0.25 BENCH_baseline.json bench.json
+//	arch21 ctl -addr :8021 -batch-rate 64    # live retune a running arch21d
+//	arch21 ctl -addr :8021 -slo 50ms -policy strict-priority
+//	arch21 metricslint -addr :8021            # promlint-style check of a live /metrics
 //
 // Sweeps fan the grid out over the same memoizing engine arch21d serves
 // from: every unique grid point executes once, repeats come from cache,
@@ -53,6 +56,10 @@ func main() {
 		cmdLoadtest(os.Args[2:])
 	case "benchcmp":
 		cmdBenchcmp(os.Args[2:])
+	case "ctl":
+		cmdCtl(os.Args[2:])
+	case "metricslint":
+		cmdMetricsLint(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -230,5 +237,7 @@ func usage() {
   arch21 run <id|all> [-param name=value ...] [-csv]
   arch21 sweep -id <id> -param name=lo:hi:step [-param ...] [-csv] [-v]
   arch21 loadtest -scenario <name> [-duration 5s] [-clients N] [-rate R] [-class interactive|batch] [-http addr] [-json out.json [-append]]
-  arch21 benchcmp [-tolerance 0.25] old.json new.json [more-new.json ...]`)
+  arch21 benchcmp [-tolerance 0.25] old.json new.json [more-new.json ...]
+  arch21 ctl -addr :8021 [-batch-rate R] [-slo 50ms] [-policy strict-priority|shared-fifo]
+  arch21 metricslint [-addr :8021] [FILE]`)
 }

@@ -21,8 +21,8 @@
 //
 //	arch21d [-addr :8021] [-shards 16] [-ttl 0] [-workers 4]
 //	        [-snapshot cache.snap] [-snapshot-every 30s]
-//	        [-batch-rate 0] [-lc-slo 0]
-//	arch21d -peers :8022,:8023,:8024 [-addr :8021]
+//	        [-batch-rate 0] [-lc-slo 0] [-events-log events.ndjson]
+//	arch21d -peers :8022,:8023,:8024 [-addr :8021] [-events-log events.ndjson]
 //
 // Endpoints:
 //
@@ -34,6 +34,11 @@
 //	GET  /stats                request counters, cache stats, per-class
 //	                           p50/p99, scheduler + shed counters
 //	                           (router mode: routing counters + backend health)
+//	GET  /metrics              Prometheus text exposition — both modes
+//	GET  /events?since=N       structured control-plane events after cursor N
+//	POST /control              live retune: batch_rate, slo_ms, policy;
+//	                           the front-end fans it out to every replica
+//	                           and reports per-replica acks
 //
 // Example:
 //
@@ -62,8 +67,19 @@ import (
 	"repro/internal/qos"
 	"repro/internal/router"
 	"repro/internal/serve"
+	"repro/internal/stats"
 	"repro/internal/sweep"
 )
+
+// openEventsLog opens (appending) the -events-log NDJSON sink; a file
+// that cannot be opened is fatal at boot, not silently dropped.
+func openEventsLog(path string) *os.File {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatalf("arch21d: -events-log: %v", err)
+	}
+	return f
+}
 
 func main() {
 	addr := flag.String("addr", ":8021", "listen address")
@@ -74,6 +90,7 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "background snapshot save interval (0 = only on shutdown)")
 	batchRate := flag.Float64("batch-rate", 0, "token-bucket rate for batch-class admissions (grid points/s; 0 = unthrottled)")
 	lcSLO := flag.Duration("lc-slo", 0, "interactive p99 SLO: a feedback controller retunes -batch-rate every second to hold it (0 = static rate)")
+	eventsLog := flag.String("events-log", "", "append every control-plane event to this file as NDJSON (the in-memory ring serves /events regardless)")
 	peers := flag.String("peers", "", "comma-separated replica addresses: run as a consistent-hash routing front-end instead of serving locally")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -109,6 +126,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("arch21d: %v", err)
 		}
+		if *eventsLog != "" {
+			rt.Events().SetSink(openEventsLog(*eventsLog))
+		}
 		mux.Handle("/", rt.Handler())
 		mux.Handle("POST /sweep", sweep.Handler(rt))
 		log.Printf("arch21d: routing front-end for %d replicas on %s (peers=%s)",
@@ -122,6 +142,9 @@ func main() {
 			SnapshotPath: *snapshot,
 		})
 		defer engine.Close()
+		if *eventsLog != "" {
+			engine.Events().SetSink(openEventsLog(*eventsLog))
+		}
 		mux.Handle("/", engine.Handler())
 		mux.Handle("POST /sweep", sweep.Handler(engine))
 		if *lcSLO > 0 {
@@ -132,26 +155,22 @@ func main() {
 			// retune the batch token-bucket toward the highest rate that
 			// still meets the SLO. Starting rate: the static -batch-rate
 			// if given, else an optimistic 256 points/s for the
-			// controller to walk down.
+			// controller to walk down. Every decision lands in the event
+			// ring (GET /events) and, with -events-log, the NDJSON file.
 			initial := *batchRate
 			if initial <= 0 {
 				initial = 256
 			}
-			ctrl := qos.NewRateController(lcSLO.Seconds(), initial, 0.1, 1e6)
-			engine.SetBatchRate(ctrl.Rate())
-			go func() {
-				for range time.Tick(time.Second) {
-					win := engine.TakeClassWindow(admit.Interactive)
-					if win.Count < 10 {
-						continue // too few samples this window to steer on
-					}
-					if rate := ctrl.Update(win.P99); rate != engine.BatchRate() {
-						engine.SetBatchRate(rate)
-						log.Printf("arch21d: qos controller: interactive p99 %.1fms (n=%d) vs SLO %v -> batch rate %.3g/s",
-							win.P99*1e3, win.Count, *lcSLO, rate)
-					}
-				}
-			}()
+			sup := &qos.Supervisor{
+				Ctrl:   qos.NewRateController(lcSLO.Seconds(), initial, 0.1, 1e6),
+				Window: func() stats.LatencySnapshot { return engine.TakeClassWindow(admit.Interactive) },
+				Apply:  engine.SetBatchRate,
+				Events: engine.Events(),
+			}
+			engine.SetBatchRate(sup.Ctrl.Rate())
+			// POST /control's slo_ms knob retunes this controller live.
+			engine.OnSLOChange(sup.SetSLO)
+			go sup.Run(context.Background())
 		}
 		if *snapshot != "" {
 			if loaded := engine.Metrics().Snapshot.Loaded; loaded > 0 {

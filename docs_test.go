@@ -15,6 +15,9 @@ import (
 	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/router"
+	"repro/internal/serve"
 )
 
 // design2 returns the §2 section of DESIGN.md.
@@ -208,6 +211,109 @@ func TestQoSDocsCoverAdmit(t *testing.T) {
 	} {
 		if !strings.Contains(rdoc, want) {
 			t.Errorf("README.md no longer mentions %q", want)
+		}
+	}
+}
+
+// The observability docs are generated-checked against the live
+// registries: DESIGN.md §9's metric table must list exactly the families
+// the engine and router registries expose (both directions — a family
+// added in code without a doc row fails, and a doc row naming a family
+// the code no longer registers fails), with the right type; the §9 event
+// vocabulary is pinned to obs.EventTypes(); README's observability
+// quickstart must cover the endpoints and the ctl flow.
+func TestObservabilityDocsCoverObs(t *testing.T) {
+	eng := serve.NewEngine(serve.Config{Workers: 1})
+	defer eng.Close()
+	rt, err := router.New([]router.Backend{router.NewEngineBackend(eng, "e0")}, router.Config{})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	families := map[string]obs.Family{}
+	for _, reg := range []*obs.Registry{eng.MetricsRegistry(), rt.MetricsRegistry()} {
+		for _, f := range reg.Families() {
+			families[f.Name] = f
+		}
+	}
+
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s9 := strings.Index(doc, "## §9")
+	if s9 < 0 {
+		t.Fatal("DESIGN.md has no §9 (observability & control plane)")
+	}
+	sec9 := doc[s9:]
+
+	// Code -> docs: every registered family has a table row of the right
+	// type.
+	for name, f := range families {
+		row := ""
+		for _, line := range strings.Split(sec9, "\n") {
+			if strings.HasPrefix(line, "| `"+name+"` ") {
+				row = line
+				break
+			}
+		}
+		if row == "" {
+			t.Errorf("DESIGN.md §9 metric table is missing a row for %s", name)
+			continue
+		}
+		if !strings.Contains(row, "| "+string(f.Type)+" |") {
+			t.Errorf("DESIGN.md §9 row for %s does not carry its type %q: %s", name, f.Type, row)
+		}
+	}
+	// Docs -> code: no table row may name an unregistered family.
+	for _, line := range strings.Split(sec9, "\n") {
+		if !strings.HasPrefix(line, "| `arch21_") {
+			continue
+		}
+		name := strings.SplitN(line, "`", 3)[1]
+		if _, ok := families[name]; !ok {
+			t.Errorf("DESIGN.md §9 documents %s, which no registry exposes", name)
+		}
+	}
+	// The event vocabulary is pinned to the code's.
+	for _, typ := range obs.EventTypes() {
+		if !strings.Contains(sec9, "`"+typ+"`") {
+			t.Errorf("DESIGN.md §9 does not document event type %q", typ)
+		}
+	}
+	squashed := strings.Join(strings.Fields(sec9), " ")
+	for _, want := range []string{
+		"internal/obs", "GET /metrics", "GET /events", "POST /control",
+		"obs.Lint", "TakeClassWindow", "StatsTTL", "arch21 ctl",
+		"-events-log", "207", "schema 2",
+	} {
+		if !strings.Contains(squashed, want) {
+			t.Errorf("DESIGN.md §9 no longer mentions %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := string(readme)
+	start := strings.Index(rdoc, "## Observability & live control")
+	if start < 0 {
+		t.Fatal("README.md has no \"Observability & live control\" section")
+	}
+	end := strings.Index(rdoc[start:], "\n## ")
+	if end < 0 {
+		t.Fatal("README observability section lost its boundary")
+	}
+	sec := rdoc[start : start+end]
+	for _, want := range []string{
+		"/metrics", "/events?since=", "arch21 ctl", "-batch-rate",
+		"-slo", "-policy", "batch_rate", "slo_ms", "policy",
+		"-events-log", "metrics-smoke", "-lc-slo", "207",
+		"arch21_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Errorf("README observability section no longer mentions %q", want)
 		}
 	}
 }

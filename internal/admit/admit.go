@@ -140,6 +140,17 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy maps a policy name (as produced by Policy.String) back to
+// the policy — the wire form POST /control retunes admission with.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return StrictPriority, fmt.Errorf("admit: unknown policy %q (want strict-priority or shared-fifo)", s)
+}
+
 // ErrClosed is returned by Run after Close.
 var ErrClosed = errors.New("admit: scheduler closed")
 
@@ -263,7 +274,21 @@ func NewScheduler(cfg Config) *Scheduler {
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
 
 // Policy returns the scheduling discipline.
-func (s *Scheduler) Policy() Policy { return s.cfg.Policy }
+func (s *Scheduler) Policy() Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Policy
+}
+
+// SetPolicy switches the scheduling discipline live — the control
+// channel's admission knob. Queued work is not reshuffled; the new
+// discipline governs every dispatch decision from the next one on.
+func (s *Scheduler) SetPolicy(p Policy) {
+	s.mu.Lock()
+	s.cfg.Policy = p
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
 
 // SetBatchRate retunes the token-bucket rate live (tokens accrued so far
 // are kept; <= 0 removes the throttle). This is the knob the qos feedback

@@ -6,12 +6,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // SchemaVersion is the BENCH_*.json artifact schema. Compare refuses to
 // diff reports across schema versions; bump it on any incompatible field
-// change.
-const SchemaVersion = 1
+// change. Schema 2 added the control-plane event timeline (Events) so a
+// colocation artifact carries the controller's decisions alongside the
+// latency verdict they produced.
+const SchemaVersion = 2
 
 // Config records the knobs a report was measured under, so a trajectory
 // of BENCH artifacts is self-describing.
@@ -123,6 +127,11 @@ type Report struct {
 	// Config is the run configuration; Metrics the measured outcome.
 	Config  Config  `json:"config"`
 	Metrics Metrics `json:"metrics"`
+	// Events is the target's control-plane event timeline over the run —
+	// controller decisions (halve/reclaim/hold with before/after rates),
+	// sheds, ejections — captured from the engine's ring when the target
+	// exposes one. A colocation artifact's controller story lives here.
+	Events []obs.Event `json:"events,omitempty"`
 }
 
 // Validate checks that a report is a usable trajectory artifact: current

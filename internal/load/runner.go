@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -118,6 +119,19 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		recs[c] = &classRec{rec: stats.NewLatencyRecorder(sampleCap, seed+uint64(i))}
 	}
 	agg := stats.NewLatencyRecorder(sampleCap, seed+100)
+
+	// Capture the target's control-plane event timeline over the measured
+	// window: everything recorded after this cursor lands in the report
+	// (controller decisions, sheds, ejections). Warmup noise is excluded
+	// because the cursor is taken after warmup.
+	var evRing *obs.Events
+	var evSince uint64
+	if es, ok := tgt.(EventSource); ok {
+		if ev := es.Events(); ev != nil {
+			evRing, evSince = ev, ev.Total()
+		}
+	}
+
 	// measure issues one request, timing it from started (the scheduled
 	// arrival in open loop, the send in closed loop) into the variant's
 	// class bucket and the cross-class aggregate. Failed requests count
@@ -317,11 +331,16 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		calPar = runtime.GOMAXPROCS(0)
 		cfgClients, cfgRate = 0, rate
 	}
+	var events []obs.Event
+	if evRing != nil {
+		events = evRing.Since(evSince)
+	}
 	return Report{
 		Schema:         SchemaVersion,
 		Scenario:       sc.Name,
 		GoVersion:      runtime.Version(),
 		CalibrationBPS: Calibrate(calPar),
+		Events:         events,
 		Config: Config{
 			Target:          tgt.Name(),
 			Mode:            sc.Mode.String(),

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -94,6 +95,22 @@ func (t *ServerTarget) Do(v Variant) (Outcome, error) {
 
 // Name identifies the target kind.
 func (t *ServerTarget) Name() string { return t.name }
+
+// Events exposes the wrapped server's control-plane event ring when it
+// has one (serve.Engine, router.Router), nil otherwise — how Run
+// captures the controller-decision timeline into the BENCH report.
+func (t *ServerTarget) Events() *obs.Events {
+	if es, ok := t.srv.(interface{ Events() *obs.Events }); ok {
+		return es.Events()
+	}
+	return nil
+}
+
+// EventSource is implemented by targets whose control-plane events can
+// be captured into a Report.
+type EventSource interface {
+	Events() *obs.Events
+}
 
 // ResettableServerTarget is a ServerTarget with a working cache reset.
 type ResettableServerTarget struct{ ServerTarget }

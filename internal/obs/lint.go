@@ -1,0 +1,275 @@
+package obs
+
+// A promlint-style checker for the text exposition format. The serving
+// stack's registries can only emit what register() accepted, but that
+// guarantee lives in one process — Lint re-checks the rendered bytes, so
+// tests (and the CI metrics-smoke step) validate the actual scrape a
+// Prometheus server would ingest, not the registry's intent.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// lintFamily tracks one family's declared metadata while scanning.
+type lintFamily struct {
+	typ     string
+	help    bool
+	samples int
+	// histogram bookkeeping: per label-set (minus le) bucket series.
+	buckets map[string][]histBucket
+	counts  map[string]float64
+	sums    map[string]bool
+}
+
+type histBucket struct {
+	le    float64 // +Inf encoded as math.Inf(1)
+	isInf bool
+	val   float64
+}
+
+// Lint scans a text exposition and returns one problem string per
+// violation: malformed names, samples without HELP/TYPE, counters not
+// ending in _total, histogram bucket series that are non-cumulative or
+// missing their le="+Inf" terminal, +Inf buckets disagreeing with
+// _count. An empty slice means the exposition is clean.
+func Lint(r io.Reader) []string {
+	var problems []string
+	fams := map[string]*lintFamily{}
+	order := []string{}
+	fam := func(name string) *lintFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &lintFamily{buckets: map[string][]histBucket{}, counts: map[string]float64{}, sums: map[string]bool{}}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := fam(name)
+			if strings.TrimSpace(help) == "" {
+				problems = append(problems, fmt.Sprintf("line %d: %s: empty HELP text", lineNo, name))
+			}
+			f.help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line %q", lineNo, line))
+				continue
+			}
+			name, typ := parts[0], parts[1]
+			f := fam(name)
+			if f.samples > 0 {
+				problems = append(problems, fmt.Sprintf("line %d: %s: TYPE after samples", lineNo, name))
+			}
+			if f.typ != "" {
+				problems = append(problems, fmt.Sprintf("line %d: %s: duplicate TYPE", lineNo, name))
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", lineNo, err))
+			continue
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					family, suffix = base, s
+				}
+				break
+			}
+		}
+		f, declared := fams[family]
+		if !declared {
+			problems = append(problems, fmt.Sprintf("line %d: %s: sample before HELP/TYPE", lineNo, name))
+			f = fam(family)
+		} else if !f.help || f.typ == "" {
+			problems = append(problems, fmt.Sprintf("line %d: %s: missing %s", lineNo, family,
+				map[bool]string{true: "TYPE", false: "HELP"}[f.help]))
+		}
+		f.samples++
+
+		if !nameRE.MatchString(family) {
+			problems = append(problems, fmt.Sprintf("line %d: %s: name is not promlint-clean", lineNo, family))
+		}
+		if f.typ == "counter" && !strings.HasSuffix(family, "_total") {
+			problems = append(problems, fmt.Sprintf("line %d: counter %s must end in _total", lineNo, family))
+		}
+		if f.typ == "gauge" && strings.HasSuffix(family, "_total") {
+			problems = append(problems, fmt.Sprintf("line %d: gauge %s must not end in _total", lineNo, family))
+		}
+
+		if f.typ == "histogram" {
+			key, le, hasLE := splitLE(labels)
+			switch suffix {
+			case "_bucket":
+				if !hasLE {
+					problems = append(problems, fmt.Sprintf("line %d: %s_bucket without le label", lineNo, family))
+					continue
+				}
+				b := histBucket{val: value}
+				if le == "+Inf" {
+					b.isInf, b.le = true, math.Inf(1)
+				} else {
+					v, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						problems = append(problems, fmt.Sprintf("line %d: %s: bad le %q", lineNo, family, le))
+						continue
+					}
+					b.le = v
+				}
+				f.buckets[key] = append(f.buckets[key], b)
+			case "_count":
+				f.counts[key] = value
+			case "_sum":
+				f.sums[key] = true
+			default:
+				problems = append(problems, fmt.Sprintf("line %d: histogram %s has a bare sample %s", lineNo, family, name))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("scan: %v", err))
+	}
+
+	// Whole-exposition checks, in family order for stable output.
+	for _, name := range order {
+		f := fams[name]
+		if f.typ == "" {
+			problems = append(problems, fmt.Sprintf("%s: no TYPE line", name))
+		}
+		if !f.help {
+			problems = append(problems, fmt.Sprintf("%s: no HELP line", name))
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		keys := make([]string, 0, len(f.buckets))
+		for k := range f.buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bs := f.buckets[k]
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := bs[len(bs)-1]
+			if !last.isInf {
+				problems = append(problems, fmt.Sprintf("%s{%s}: no le=\"+Inf\" terminal bucket", name, k))
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].val < bs[i-1].val {
+					problems = append(problems, fmt.Sprintf(
+						"%s{%s}: buckets not cumulative (le=%g count %g < previous %g)",
+						name, k, bs[i].le, bs[i].val, bs[i-1].val))
+				}
+			}
+			if cnt, ok := f.counts[k]; ok && last.isInf && last.val != cnt {
+				problems = append(problems, fmt.Sprintf(
+					"%s{%s}: le=\"+Inf\" bucket %g != _count %g", name, k, last.val, cnt))
+			}
+			if _, ok := f.sums[k]; !ok {
+				problems = append(problems, fmt.Sprintf("%s{%s}: missing _sum series", name, k))
+			}
+			if _, ok := f.counts[k]; !ok {
+				problems = append(problems, fmt.Sprintf("%s{%s}: missing _count series", name, k))
+			}
+		}
+	}
+	return problems
+}
+
+// parseSample splits one sample line into name, raw label block, value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed labels in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, perr := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q", line)
+	}
+	return name, labels, v, nil
+}
+
+// splitLE strips the le pair out of a raw label block, returning the
+// remaining block (the series key) and the le value.
+func splitLE(labels string) (key, le string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(labels) {
+		k, v, _ := strings.Cut(pair, "=")
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			le, ok = v, true
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return strings.Join(kept, ","), le, ok
+}
+
+// splitLabelPairs splits k="v" pairs on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

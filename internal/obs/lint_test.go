@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintCleanRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests.", func() float64 { return 3 })
+	r.Gauge("demo_depth", "Depth.", func() float64 { return 1 })
+	r.Histogram("demo_latency_seconds", "Latency.", []string{"class"}, func() []HistSample {
+		return []HistSample{{
+			Values:    []string{"interactive"},
+			Bounds:    []float64{0.01, 0.1},
+			CumCounts: []uint64{1, 4},
+			Count:     5,
+			Sum:       0.9,
+		}}
+	})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if problems := Lint(strings.NewReader(sb.String())); len(problems) > 0 {
+		t.Fatalf("registry output should lint clean, got:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of an expected problem
+	}{
+		{
+			name: "sample without metadata",
+			text: "orphan_metric 1\n",
+			want: "sample before HELP/TYPE",
+		},
+		{
+			name: "counter without _total",
+			text: "# HELP bad_counter Count.\n# TYPE bad_counter counter\nbad_counter 1\n",
+			want: "must end in _total",
+		},
+		{
+			name: "gauge with _total",
+			text: "# HELP bad_gauge_total Depth.\n# TYPE bad_gauge_total gauge\nbad_gauge_total 1\n",
+			want: "must not end in _total",
+		},
+		{
+			name: "uppercase name",
+			text: "# HELP BadName Help.\n# TYPE BadName gauge\nBadName 1\n",
+			want: "not promlint-clean",
+		},
+		{
+			name: "missing +Inf bucket",
+			text: "# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				`h_seconds_bucket{le="0.1"} 2` + "\nh_seconds_sum 0.1\nh_seconds_count 2\n",
+			want: `no le="+Inf" terminal bucket`,
+		},
+		{
+			name: "non-cumulative buckets",
+			text: "# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				`h_seconds_bucket{le="0.1"} 5` + "\n" +
+				`h_seconds_bucket{le="1"} 3` + "\n" +
+				`h_seconds_bucket{le="+Inf"} 5` + "\nh_seconds_sum 1\nh_seconds_count 5\n",
+			want: "not cumulative",
+		},
+		{
+			name: "+Inf disagrees with _count",
+			text: "# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				`h_seconds_bucket{le="+Inf"} 4` + "\nh_seconds_sum 1\nh_seconds_count 5\n",
+			want: "!= _count",
+		},
+		{
+			name: "missing HELP",
+			text: "# TYPE lonely_gauge gauge\nlonely_gauge 1\n",
+			want: "no HELP line",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := Lint(strings.NewReader(tc.text))
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}

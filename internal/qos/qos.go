@@ -300,19 +300,9 @@ func (c *RateController) Rate() float64 { return c.rate }
 
 // Update feeds one observed LC p99 (seconds) and returns the new batch
 // rate. Non-positive observations (no traffic yet) leave the rate alone.
+// Decide is the same step with the full decision attached.
 func (c *RateController) Update(p99 float64) float64 {
-	if p99 <= 0 || math.IsNaN(p99) || math.IsInf(p99, 0) || c.SLO <= 0 {
-		return c.rate
-	}
-	switch {
-	case p99 > c.SLO:
-		// Violating: halve — batch gives ground immediately.
-		c.rate = c.clamp(c.rate * 0.5)
-	case p99 < 0.7*c.SLO:
-		// Comfortably inside: reclaim 20%.
-		c.rate = c.clamp(c.rate * 1.2)
-	}
-	return c.rate
+	return c.Decide(p99).RateAfter
 }
 
 func (c *RateController) clamp(r float64) float64 {

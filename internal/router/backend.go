@@ -1,6 +1,7 @@
 package router
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -58,6 +59,20 @@ func (b *EngineBackend) Name() string { return b.name }
 // Engine exposes the wrapped engine (tests inspect per-replica
 // execution counts through it).
 func (b *EngineBackend) Engine() *serve.Engine { return b.eng }
+
+// Control implements Controller: apply the raw control body to the
+// in-process engine and return the ack JSON.
+func (b *EngineBackend) Control(_ context.Context, body []byte) ([]byte, error) {
+	var req serve.ControlRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("router: %s: bad control body: %v", b.name, err)
+	}
+	ack, err := b.eng.ApplyControl(req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(ack)
+}
 
 // statusError is an HTTP backend failure carrying the replica's status
 // code — so the router can tell client errors (no failover: every
@@ -201,6 +216,28 @@ func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.R
 		Result:   core.Result{Headline: env.Headline, Findings: env.Findings},
 		Latency:  time.Since(t0),
 	}, nil
+}
+
+// Control implements Controller: POST the raw body to the replica's
+// /control and return its ack body.
+func (b *HTTPBackend) Control(ctx context.Context, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/control",
+		bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("router: %s: %v", b.base, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("router: %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: %s /control: %w", b.base,
+			&statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(out))})
+	}
+	return out, nil
 }
 
 // Check implements Backend: GET /healthz with a short deadline.

@@ -14,7 +14,9 @@ package router
 // the replicas, which serve every format.
 
 import (
+	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 
 	"repro/internal/core"
@@ -105,6 +107,34 @@ func (r *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
 		serve.WriteJSON(w, http.StatusOK, r.Metrics())
+	})
+	mux.Handle("GET /metrics", r.MetricsRegistry().Handler())
+	mux.Handle("GET /events", r.Events().Handler())
+	mux.HandleFunc("POST /control", func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(req.Body, 1<<16))
+		if err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		// Validate the body shape locally before burning the cluster's
+		// time: every replica parses the same contract.
+		var creq serve.ControlRequest
+		if err := json.Unmarshal(body, &creq); err != nil || creq.Empty() {
+			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "bad control body (want JSON with batch_rate, slo_ms, and/or policy)"})
+			return
+		}
+		acks := r.Control(req.Context(), body)
+		status := http.StatusOK
+		for _, a := range acks {
+			if !a.OK {
+				// Partial application is visible in the rows; the status
+				// flags that at least one replica did not retune.
+				status = http.StatusMultiStatus
+				break
+			}
+		}
+		serve.WriteJSON(w, status, map[string]interface{}{"replicas": acks})
 	})
 	return mux
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -114,6 +115,12 @@ type Router struct {
 	requests  atomic.Int64
 	failovers atomic.Int64
 	exhausted atomic.Int64
+
+	// events records ejections, re-admissions, and control fan-outs.
+	events *obs.Events
+
+	obsOnce sync.Once
+	obsReg  *obs.Registry
 }
 
 // New builds a router over the given backends. At least one is required.
@@ -130,8 +137,12 @@ func New(backends []Backend, cfg Config) (*Router, error) {
 		backends: backends,
 		ring:     cluster.NewConsistentHash(len(backends), cfg.VNodes),
 		state:    make([]backendState, len(backends)),
+		events:   obs.NewEvents(0),
 	}, nil
 }
+
+// Events returns the front-end's control-plane event ring (never nil).
+func (r *Router) Events() *obs.Events { return r.events }
 
 // RouteKey derives the placement key for one (experiment, assignment)
 // pair: the engine's cache key when the ID is registered (so placement
@@ -293,6 +304,8 @@ func (r *Router) admit(b int) bool {
 	st.consecFails = 0
 	st.requests++
 	st.mu.Unlock()
+	r.events.Record(obs.EventReadmit,
+		map[string]string{"backend": r.backends[b].Name()}, nil)
 	return true
 }
 
@@ -308,12 +321,20 @@ func (r *Router) noteFailure(b int) {
 	st.mu.Lock()
 	st.failures++
 	st.consecFails++
+	ejectedNow := false
 	if !st.ejected && st.consecFails >= r.cfg.FailThreshold {
 		st.ejected = true
 		st.ejections++
 		st.nextProbe = r.cfg.now().Add(r.cfg.ProbeAfter)
+		ejectedNow = true
 	}
+	fails := st.consecFails
 	st.mu.Unlock()
+	if ejectedNow {
+		r.events.Record(obs.EventEjection,
+			map[string]string{"backend": r.backends[b].Name()},
+			map[string]float64{"consecutive_failures": float64(fails)})
+	}
 }
 
 // BackendStatus is one backend's health row in Metrics.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -96,6 +97,12 @@ type classCounters struct {
 	// lifetime reservoirs above freeze once mature (replacement
 	// probability cap/n), so they must never drive control decisions.
 	winLat atomic.Pointer[stats.LatencyRecorder]
+	// hitHist and coldHist are the class's cumulative fixed-bucket
+	// latency histograms — what GET /metrics exposes. Scrapes read these
+	// (and the atomics above) only, never winLat, so a scrape can never
+	// consume the controller's window.
+	hitHist  *stats.AtomicHistogram
+	coldHist *stats.AtomicHistogram
 }
 
 // Engine serves experiment results concurrently: cache first, then
@@ -128,6 +135,30 @@ type Engine struct {
 	allLat  *stats.LatencyRecorder
 
 	started time.Time
+
+	// events records control-plane decisions (sheds here; controller
+	// retunes and /control applications are recorded by their owners into
+	// the same ring). Always non-nil after NewEngine.
+	events *obs.Events
+
+	// obsOnce/obsReg lazily build the /metrics registry (it closes over
+	// the engine and never changes after first use).
+	obsOnce sync.Once
+	obsReg  *obs.Registry
+
+	// statsMu/statsVal/statsAt memoize Metrics() for the /stats handler:
+	// a full snapshot walks every reservoir (sort per percentile), so a
+	// scrape storm would burn CPU the serving path needs. ~250ms of
+	// staleness is invisible to an operator dashboard.
+	statsMu  sync.Mutex
+	statsVal Metrics
+	statsAt  time.Time
+
+	// sloMu/sloHook is the live-SLO actuator POST /control drives when a
+	// feedback controller is attached (cmd/arch21d registers the
+	// supervisor's SetSLO here).
+	sloMu   sync.Mutex
+	sloHook func(slo time.Duration) error
 }
 
 // Response is one served result.
@@ -205,6 +236,7 @@ func NewEngine(cfg Config) *Engine {
 		coldLat:  stats.NewLatencyRecorder(cfg.SampleCap, 2),
 		allLat:   stats.NewLatencyRecorder(cfg.SampleCap, 3),
 		started:  time.Now(),
+		events:   obs.NewEvents(0),
 	}
 	e.sampleCap = cfg.SampleCap
 	for i := range e.classes {
@@ -213,6 +245,8 @@ func NewEngine(cfg Config) *Engine {
 		c.coldLat = stats.NewLatencyRecorder(cfg.SampleCap, uint64(11+3*i))
 		c.allLat = stats.NewLatencyRecorder(cfg.SampleCap, uint64(12+3*i))
 		c.winLat.Store(stats.NewLatencyRecorder(cfg.SampleCap, uint64(20+i)))
+		c.hitHist = stats.NewAtomicHistogram(nil)
+		c.coldHist = stats.NewAtomicHistogram(nil)
 	}
 	if e.snapPath != "" {
 		e.loadSnapshot()
@@ -380,6 +414,18 @@ func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t
 		// deadline shed, a cancellation while queued, or a closed
 		// scheduler. All are sheds — admitted requests that did no work.
 		cc.sheds.Add(1)
+		reason := "canceled"
+		var shedErr *admit.ShedError
+		data := map[string]float64{}
+		if errors.As(err, &shedErr) {
+			reason = "queue"
+			if shedErr.Deadline {
+				reason = "deadline"
+			}
+			data["retry_after_seconds"] = shedErr.RetryAfter.Seconds()
+		}
+		e.events.Record(obs.EventShed,
+			map[string]string{"class": class.String(), "reason": reason}, data)
 	}
 	if err != nil {
 		return Response{}, err
@@ -406,9 +452,11 @@ func (e *Engine) observe(class admit.Class, hit bool, lat time.Duration) {
 	if hit {
 		e.hitLat.Observe(s)
 		cc.hitLat.Observe(s)
+		cc.hitHist.Observe(s)
 	} else {
 		e.coldLat.Observe(s)
 		cc.coldLat.Observe(s)
+		cc.coldHist.Observe(s)
 	}
 	e.allLat.Observe(s)
 	cc.allLat.Observe(s)

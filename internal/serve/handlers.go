@@ -23,6 +23,9 @@ import (
 //	GET /run/{id}?format=text rendered ASCII report
 //	GET /run/{id}?format=csv  table/figure as CSV
 //	GET /stats                engine metrics: counters, cache, per-class p50/p99
+//	GET /metrics              Prometheus text exposition (promlint-clean)
+//	GET /events?since=N       structured control-plane events after cursor N
+//	POST /control             live retune: {"batch_rate":..,"slo_ms":..,"policy":".."}
 //
 // Every response is served through the engine, so hits, dedup, sheds, and
 // latency percentiles in /stats reflect real traffic. The sweep package
@@ -227,8 +230,13 @@ func (e *Engine) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Metrics())
+		// Memoized (StatsTTL): a dashboard poller must not pay — or make
+		// the serving path pay — a full reservoir walk per request.
+		writeJSON(w, http.StatusOK, e.MetricsCached())
 	})
+	mux.Handle("GET /metrics", e.MetricsRegistry().Handler())
+	mux.Handle("GET /events", e.Events().Handler())
+	mux.Handle("POST /control", e.ControlHandler())
 	return mux
 }
 

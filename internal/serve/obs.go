@@ -1,0 +1,258 @@
+package serve
+
+// The engine's observability plane: the Prometheus /metrics registry, the
+// structured event log, the memoized /stats snapshot, and the live
+// POST /control channel. Everything /metrics exposes is collected at
+// scrape time from atomics and cumulative histograms — never from the
+// controller's TakeClassWindow reservoirs — so scraping, no matter how
+// aggressive, cannot perturb the QoS feedback signal.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/obs"
+)
+
+// StatsTTL bounds the staleness of the memoized /stats snapshot. A full
+// Metrics() walks every latency reservoir (a sort per percentile), so an
+// aggressive dashboard poller would burn CPU the serving path needs;
+// 250ms of staleness is invisible to an operator.
+const StatsTTL = 250 * time.Millisecond
+
+// Events returns the engine's control-plane event ring (never nil).
+func (e *Engine) Events() *obs.Events { return e.events }
+
+// OnSLOChange registers the actuator POST /control drives for slo_ms:
+// cmd/arch21d hooks the QoS supervisor's SetSLO here. A nil fn detaches
+// (control requests carrying slo_ms are then rejected).
+func (e *Engine) OnSLOChange(fn func(slo time.Duration) error) {
+	e.sloMu.Lock()
+	e.sloHook = fn
+	e.sloMu.Unlock()
+}
+
+// SetPolicy switches the admission discipline live.
+func (e *Engine) SetPolicy(p admit.Policy) { e.sched.SetPolicy(p) }
+
+// MetricsCached returns Metrics() memoized for StatsTTL — what the
+// /stats handler serves. Live tests keep calling Metrics() directly.
+func (e *Engine) MetricsCached() Metrics {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if !e.statsAt.IsZero() && time.Since(e.statsAt) < StatsTTL {
+		return e.statsVal
+	}
+	e.statsVal = e.Metrics()
+	e.statsAt = time.Now()
+	return e.statsVal
+}
+
+// MetricsRegistry returns the engine's /metrics registry, built once.
+// Every collector reads atomics or cumulative histograms, so a scrape
+// costs microseconds and touches nothing a controller depends on.
+func (e *Engine) MetricsRegistry() *obs.Registry {
+	e.obsOnce.Do(func() { e.obsReg = e.buildRegistry() })
+	return e.obsReg
+}
+
+// classCounterVec renders one per-class counter family from a field
+// selector.
+func (e *Engine) classCounterVec(get func(*classCounters) int64) func() []obs.Sample {
+	return func() []obs.Sample {
+		out := make([]obs.Sample, 0, len(e.classes))
+		for _, class := range admit.Classes() {
+			out = append(out, obs.Sample{
+				Values: []string{class.String()},
+				Value:  float64(get(&e.classes[class])),
+			})
+		}
+		return out
+	}
+}
+
+func (e *Engine) buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Gauge("arch21_uptime_seconds", "Seconds since the engine started.",
+		func() float64 { return time.Since(e.started).Seconds() })
+	r.CounterVec("arch21_requests_total", "Validated requests by class.", []string{"class"},
+		e.classCounterVec(func(c *classCounters) int64 { return c.requests.Load() }))
+	r.CounterVec("arch21_cache_hits_total", "Requests answered from cache, by class.", []string{"class"},
+		e.classCounterVec(func(c *classCounters) int64 { return c.hits.Load() }))
+	r.CounterVec("arch21_deduped_total", "Requests that piggybacked on an in-flight execution, by class.", []string{"class"},
+		e.classCounterVec(func(c *classCounters) int64 { return c.deduped.Load() }))
+	r.CounterVec("arch21_executions_total", "Underlying experiment executions, by class.", []string{"class"},
+		e.classCounterVec(func(c *classCounters) int64 { return c.executions.Load() }))
+	r.CounterVec("arch21_sheds_total", "Requests rejected at admission, by class.", []string{"class"},
+		e.classCounterVec(func(c *classCounters) int64 { return c.sheds.Load() }))
+	r.Histogram("arch21_request_duration_seconds",
+		"Request latency by class and outcome (hit: served from cache; cold: executed or deduplicated).",
+		[]string{"class", "outcome"}, func() []obs.HistSample {
+			out := make([]obs.HistSample, 0, 2*len(e.classes))
+			for _, class := range admit.Classes() {
+				cc := &e.classes[class]
+				hit := cc.hitHist.Snapshot()
+				cold := cc.coldHist.Snapshot()
+				out = append(out,
+					obs.HistSample{Values: []string{class.String(), "hit"},
+						Bounds: hit.Bounds, CumCounts: hit.CumCounts, Count: hit.Count, Sum: hit.Sum},
+					obs.HistSample{Values: []string{class.String(), "cold"},
+						Bounds: cold.Bounds, CumCounts: cold.CumCounts, Count: cold.Count, Sum: cold.Sum})
+			}
+			return out
+		})
+	r.GaugeVec("arch21_queue_depth", "Current scheduler queue depth by class.", []string{"class"},
+		func() []obs.Sample {
+			st := e.sched.Stats()
+			out := make([]obs.Sample, 0, len(st.Classes))
+			for _, class := range admit.Classes() {
+				out = append(out, obs.Sample{Values: []string{class.String()},
+					Value: float64(st.Classes[class.String()].Queued)})
+			}
+			return out
+		})
+	r.Gauge("arch21_workers", "Scheduler concurrency bound.",
+		func() float64 { return float64(e.sched.Workers()) })
+	r.Gauge("arch21_workers_busy", "Workers currently running a task.",
+		func() float64 { return float64(e.sched.Stats().Running) })
+	r.Gauge("arch21_batch_rate", "Batch token-bucket rate in tokens per second (0 means unthrottled).",
+		func() float64 { return e.sched.BatchRate() })
+	r.Gauge("arch21_batch_tokens", "Batch token-bucket fill.",
+		func() float64 { return e.sched.Stats().BatchTokens })
+	r.Gauge("arch21_cache_entries", "Live cache entries across shards.",
+		func() float64 { return float64(e.cache.Stats().Entries) })
+	r.Counter("arch21_cache_lookup_hits_total", "Cache lookups that found a live entry.",
+		func() float64 { return float64(e.cache.Stats().Hits) })
+	r.Counter("arch21_cache_lookup_misses_total", "Cache lookups that found nothing servable.",
+		func() float64 { return float64(e.cache.Stats().Misses) })
+	r.Counter("arch21_cache_expired_total", "Cache entries dropped by TTL expiry.",
+		func() float64 { return float64(e.cache.Stats().Expired) })
+	r.Gauge("arch21_snapshot_enabled", "Whether the tier-2 disk cache is configured (0 or 1).",
+		func() float64 {
+			if e.snapPath != "" {
+				return 1
+			}
+			return 0
+		})
+	r.Counter("arch21_snapshot_loaded_total", "Entries warm-started from the tier-2 snapshot at boot.",
+		func() float64 { return float64(e.snapLoaded.Load()) })
+	r.Counter("arch21_snapshot_saves_total", "Tier-2 snapshot writes.",
+		func() float64 { return float64(e.snapSaves.Load()) })
+	r.Counter("arch21_snapshot_save_failures_total", "Failed tier-2 snapshot writes (alert on this).",
+		func() float64 { return float64(e.snapSaveFails.Load()) })
+	r.Counter("arch21_events_total", "Control-plane events recorded (the ring retains the newest).",
+		func() float64 { return float64(e.events.Total()) })
+	return r
+}
+
+// ControlRequest is the POST /control body: each knob is optional, only
+// the ones present are applied, atomically per knob (there is no
+// cross-knob transaction). The same body fans out verbatim from the
+// routing front-end to every replica.
+type ControlRequest struct {
+	// BatchRate retunes the batch token bucket (tokens/s; 0 removes the
+	// throttle).
+	BatchRate *float64 `json:"batch_rate,omitempty"`
+	// SLOMS retunes the feedback controller's p99 target in milliseconds.
+	// Rejected when no controller is attached.
+	SLOMS *float64 `json:"slo_ms,omitempty"`
+	// Policy switches the admission discipline ("strict-priority" or
+	// "shared-fifo").
+	Policy *string `json:"policy,omitempty"`
+}
+
+// Empty reports whether the request carries no knob at all.
+func (c ControlRequest) Empty() bool {
+	return c.BatchRate == nil && c.SLOMS == nil && c.Policy == nil
+}
+
+// ControlAck reports what one replica applied, keyed by knob name.
+type ControlAck struct {
+	Applied map[string]string `json:"applied"`
+}
+
+// ApplyControl validates and applies a control request and records one
+// EventControl into the ring. All-or-nothing: validation of every
+// present knob happens before any is applied.
+func (e *Engine) ApplyControl(req ControlRequest) (ControlAck, error) {
+	if req.Empty() {
+		return ControlAck{}, fmt.Errorf("serve: control request carries no knob (want batch_rate, slo_ms, or policy)")
+	}
+	var pol admit.Policy
+	if req.Policy != nil {
+		var err error
+		if pol, err = admit.ParsePolicy(*req.Policy); err != nil {
+			return ControlAck{}, err
+		}
+	}
+	if req.BatchRate != nil {
+		if r := *req.BatchRate; math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return ControlAck{}, fmt.Errorf("serve: bad batch_rate %v (want a finite rate >= 0)", *req.BatchRate)
+		}
+	}
+	var sloHook func(time.Duration) error
+	if req.SLOMS != nil {
+		if ms := *req.SLOMS; math.IsNaN(ms) || math.IsInf(ms, 0) || ms <= 0 {
+			return ControlAck{}, fmt.Errorf("serve: bad slo_ms %v (want a positive millisecond target)", *req.SLOMS)
+		}
+		e.sloMu.Lock()
+		sloHook = e.sloHook
+		e.sloMu.Unlock()
+		if sloHook == nil {
+			return ControlAck{}, fmt.Errorf("serve: no live controller attached; slo_ms cannot be retuned (start with -lc-slo)")
+		}
+	}
+
+	ack := ControlAck{Applied: map[string]string{}}
+	labels := map[string]string{}
+	if req.BatchRate != nil {
+		e.SetBatchRate(*req.BatchRate)
+		v := strconv.FormatFloat(*req.BatchRate, 'g', -1, 64)
+		ack.Applied["batch_rate"] = v
+		labels["batch_rate"] = v
+	}
+	if req.Policy != nil {
+		e.SetPolicy(pol)
+		ack.Applied["policy"] = pol.String()
+		labels["policy"] = pol.String()
+	}
+	if req.SLOMS != nil {
+		if err := sloHook(time.Duration(*req.SLOMS * float64(time.Millisecond))); err != nil {
+			return ControlAck{}, err
+		}
+		v := strconv.FormatFloat(*req.SLOMS, 'g', -1, 64)
+		ack.Applied["slo_ms"] = v
+		labels["slo_ms"] = v
+	}
+	e.events.Record(obs.EventControl, labels, nil)
+	return ack, nil
+}
+
+// ControlHandler serves POST /control: a ControlRequest body, applied
+// live, answered with the ControlAck.
+func (e *Engine) ControlHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req ControlRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "bad control body: " + err.Error()})
+			return
+		}
+		ack, err := e.ApplyControl(req)
+		if err != nil {
+			WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		WriteJSON(w, http.StatusOK, ack)
+	})
+}

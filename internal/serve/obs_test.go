@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// scrape runs one GET /metrics through the engine's full handler and
+// returns the body.
+func scrape(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics Content-Type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// TestMetricsExpositionClean drives mixed-class traffic (including sheds)
+// through the engine and validates the resulting /metrics scrape the way
+// promlint would: naming, metadata, histogram shape.
+func TestMetricsExpositionClean(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	defer e.Close()
+	h := e.Handler()
+
+	for i := 0; i < 8; i++ {
+		ctx := admit.WithClass(context.Background(), admit.Interactive)
+		if i%2 == 1 {
+			ctx = admit.WithClass(context.Background(), admit.Batch)
+		}
+		if _, err := e.ServeWith(ctx, fmt.Sprintf("X%d", i%3), core.Params{}); err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	}
+
+	body := scrape(t, h)
+	if problems := obs.Lint(strings.NewReader(body)); len(problems) > 0 {
+		t.Fatalf("/metrics is not promlint-clean:\n  %s", strings.Join(problems, "\n  "))
+	}
+
+	// Table-driven spot checks on families the dashboards depend on: each
+	// must carry HELP and TYPE metadata and at least one sample of the
+	// declared shape.
+	cases := []struct {
+		family string
+		typ    string
+		sample string // substring of an expected sample line
+	}{
+		{"arch21_requests_total", "counter", `arch21_requests_total{class="interactive"}`},
+		{"arch21_requests_total", "counter", `arch21_requests_total{class="batch"}`},
+		{"arch21_cache_hits_total", "counter", `arch21_cache_hits_total{class="interactive"}`},
+		{"arch21_executions_total", "counter", `arch21_executions_total{class=`},
+		{"arch21_sheds_total", "counter", `arch21_sheds_total{class=`},
+		{"arch21_request_duration_seconds", "histogram",
+			`arch21_request_duration_seconds_bucket{class="interactive",outcome="cold",le="+Inf"}`},
+		{"arch21_request_duration_seconds", "histogram",
+			`arch21_request_duration_seconds_sum{class="interactive",outcome="hit"}`},
+		{"arch21_queue_depth", "gauge", `arch21_queue_depth{class=`},
+		{"arch21_workers", "gauge", "arch21_workers "},
+		{"arch21_batch_rate", "gauge", "arch21_batch_rate "},
+		{"arch21_cache_entries", "gauge", "arch21_cache_entries "},
+		{"arch21_events_total", "counter", "arch21_events_total "},
+		{"arch21_uptime_seconds", "gauge", "arch21_uptime_seconds "},
+	}
+	for _, tc := range cases {
+		t.Run(tc.family, func(t *testing.T) {
+			if !strings.Contains(body, "# HELP "+tc.family+" ") {
+				t.Errorf("missing HELP for %s", tc.family)
+			}
+			if !strings.Contains(body, fmt.Sprintf("# TYPE %s %s", tc.family, tc.typ)) {
+				t.Errorf("missing TYPE %s %s", tc.family, tc.typ)
+			}
+			if !strings.Contains(body, tc.sample) {
+				t.Errorf("missing sample %q", tc.sample)
+			}
+		})
+	}
+
+	// Bucket series must be cumulative and terminate in le="+Inf" — walk
+	// the interactive/cold series explicitly (the traffic above filled it).
+	var last float64 = -1
+	sawInf := false
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `arch21_request_duration_seconds_bucket{class="interactive",outcome="cold",`) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("non-cumulative bucket series at %q (%g < %g)", line, v, last)
+		}
+		last = v
+		sawInf = strings.Contains(line, `le="+Inf"`)
+	}
+	if !sawInf {
+		t.Fatal(`interactive/cold bucket series does not end in le="+Inf"`)
+	}
+}
+
+// TestMetricsScrapeDoesNotConsumeWindow is the regression gate for the
+// scrape-isolation invariant: /metrics must never drain the controller's
+// TakeClassWindow reservoir, no matter how many scrapes land between
+// controller ticks.
+func TestMetricsScrapeDoesNotConsumeWindow(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	defer e.Close()
+	h := e.Handler()
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := e.Serve(fmt.Sprintf("W%d", i)); err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		scrape(t, h)
+	}
+	win := e.TakeClassWindow(admit.Interactive)
+	if win.Count != n {
+		t.Fatalf("controller window after 25 scrapes: Count=%d want %d (scrapes consumed the window)", win.Count, n)
+	}
+	// And the window, once taken by the controller, is actually fresh.
+	if again := e.TakeClassWindow(admit.Interactive); again.Count != 0 {
+		t.Fatalf("second TakeClassWindow: Count=%d want 0", again.Count)
+	}
+}
+
+func TestApplyControl(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	defer e.Close()
+
+	rate := 64.0
+	ack, err := e.ApplyControl(ControlRequest{BatchRate: &rate})
+	if err != nil {
+		t.Fatalf("ApplyControl(batch_rate): %v", err)
+	}
+	if got := e.BatchRate(); got != 64 {
+		t.Fatalf("BatchRate after control: %g want 64", got)
+	}
+	if ack.Applied["batch_rate"] != "64" {
+		t.Fatalf("ack: %+v", ack)
+	}
+
+	pol := "shared-fifo"
+	if _, err := e.ApplyControl(ControlRequest{Policy: &pol}); err != nil {
+		t.Fatalf("ApplyControl(policy): %v", err)
+	}
+	if got := e.sched.Policy(); got != admit.SharedFIFO {
+		t.Fatalf("policy after control: %v", got)
+	}
+
+	// slo_ms without a controller attached must be rejected...
+	ms := 50.0
+	if _, err := e.ApplyControl(ControlRequest{SLOMS: &ms}); err == nil {
+		t.Fatal("slo_ms with no controller attached should fail")
+	}
+	// ...and must reach the hook once one is registered.
+	var gotSLO time.Duration
+	e.OnSLOChange(func(slo time.Duration) error { gotSLO = slo; return nil })
+	if _, err := e.ApplyControl(ControlRequest{SLOMS: &ms}); err != nil {
+		t.Fatalf("ApplyControl(slo_ms): %v", err)
+	}
+	if gotSLO != 50*time.Millisecond {
+		t.Fatalf("SLO hook got %v want 50ms", gotSLO)
+	}
+
+	for name, req := range map[string]ControlRequest{
+		"empty":          {},
+		"negative rate":  {BatchRate: ptr(-1.0)},
+		"NaN rate":       {BatchRate: ptr(nan())},
+		"zero slo":       {SLOMS: ptr(0.0)},
+		"unknown policy": {Policy: ptrS("lifo")},
+	} {
+		if _, err := e.ApplyControl(req); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// A request with one bad knob must apply nothing (validate-all-first).
+	bad := ControlRequest{BatchRate: ptr(128.0), Policy: ptrS("bogus")}
+	if _, err := e.ApplyControl(bad); err == nil {
+		t.Fatal("mixed good/bad request should fail whole")
+	}
+	if got := e.BatchRate(); got != 64 {
+		t.Fatalf("failed control mutated batch rate to %g", got)
+	}
+
+	// Each successful control decision lands in the event ring.
+	var controls int
+	for _, ev := range e.Events().Since(0) {
+		if ev.Type == obs.EventControl {
+			controls++
+		}
+	}
+	if controls != 3 {
+		t.Fatalf("control events recorded: %d want 3", controls)
+	}
+}
+
+func ptr(f float64) *float64 { return &f }
+func ptrS(s string) *string  { return &s }
+func nan() (f float64)       { f = 0; f /= f; return } //nolint: deliberate NaN
+
+func TestControlHandlerHTTP(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	defer e.Close()
+	h := e.Handler()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/control", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := post(`{"batch_rate": 32}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /control: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	var ack ControlAck
+	if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+		t.Fatalf("bad ack: %v", err)
+	}
+	if ack.Applied["batch_rate"] != "32" || e.BatchRate() != 32 {
+		t.Fatalf("ack %+v, rate %g", ack, e.BatchRate())
+	}
+
+	if rec := post(`{"batch_rate": 32, "bogus": 1}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: HTTP %d want 400", rec.Code)
+	}
+	if rec := post(`{}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty body: HTTP %d want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/control", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /control: HTTP %d want 405", rec.Code)
+	}
+}
+
+// TestStatsMemoized pins the /stats memoization contract: within StatsTTL
+// the handler serves the cached snapshot, while Metrics() stays live.
+func TestStatsMemoized(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	defer e.Close()
+
+	if _, err := e.Serve("S1"); err != nil {
+		t.Fatal(err)
+	}
+	first := e.MetricsCached()
+	if first.Requests != 1 {
+		t.Fatalf("first cached snapshot: %+v", first)
+	}
+	if _, err := e.Serve("S2"); err != nil {
+		t.Fatal(err)
+	}
+	if again := e.MetricsCached(); again.Requests != 1 {
+		t.Fatalf("snapshot within TTL should be memoized: Requests=%d want 1", again.Requests)
+	}
+	if live := e.Metrics(); live.Requests != 2 {
+		t.Fatalf("Metrics() must stay live: Requests=%d want 2", live.Requests)
+	}
+}
+
+// TestConcurrentScrapeServeControl exercises every observability surface
+// at once — serving, /metrics scrapes, /stats, /events, and live control
+// retunes — and relies on the -race CI lane to flag unsynchronized state.
+func TestConcurrentScrapeServeControl(t *testing.T) {
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	defer e.Close()
+	h := e.Handler()
+
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				class := admit.Interactive
+				if i%2 == 0 {
+					class = admit.Batch
+				}
+				ctx := admit.WithClass(context.Background(), class)
+				_, _ = e.ServeWith(ctx, fmt.Sprintf("C%d-%d", g, i%5), core.Params{})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/events?since=0", nil))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rate := float64(100 + i)
+			pol := "strict-priority"
+			if i%2 == 0 {
+				pol = "shared-fifo"
+			}
+			if _, err := e.ApplyControl(ControlRequest{BatchRate: &rate, Policy: &pol}); err != nil {
+				t.Errorf("ApplyControl: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if problems := obs.Lint(strings.NewReader(scrape(t, h))); len(problems) > 0 {
+		t.Fatalf("post-race scrape not clean:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+// The memoization satellite's before/after numbers: a full reservoir walk
+// per call vs the cached snapshot.
+func BenchmarkEngineMetrics(b *testing.B) {
+	e := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Metrics()
+	}
+}
+
+func BenchmarkEngineMetricsCached(b *testing.B) {
+	e := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.MetricsCached()
+	}
+}
+
+func BenchmarkEngineMetricsScrape(b *testing.B) {
+	e := benchEngine(b)
+	reg := e.MetricsRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e := newTestEngine(func(id string) (core.Result, error) { return fakeResult(id), nil })
+	b.Cleanup(e.Close)
+	for i := 0; i < 512; i++ {
+		if _, err := e.Serve(fmt.Sprintf("B%d", i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}

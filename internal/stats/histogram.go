@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// AtomicHistogram is a concurrency-safe fixed-bucket histogram: lock-free
+// atomic per-bucket counters plus an exact count and sum, built for the
+// serving stack's /metrics exposition. Unlike LatencyRecorder's bounded
+// reservoir — whose replacement probability decays to cap/n, freezing
+// the percentile view once mature — a fixed-bucket histogram stays
+// exact forever (within bucket resolution) and merges across scrapes
+// and replicas by addition, which is exactly what Prometheus histograms
+// require. The recorder keeps feeding the QoS controller's windows;
+// the histogram feeds scrapes, so a scrape can never perturb the
+// controller's input.
+type AtomicHistogram struct {
+	bounds  []float64       // sorted, strictly increasing, finite upper bounds
+	counts  []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefaultLatencyBuckets are exponential-ish latency bucket upper bounds
+// in seconds, 1µs through 10s — wide enough for a sub-2µs warm cache
+// hit and a multi-second cold sweep point in the same exposition.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5,
+		1, 2.5, 5, 10,
+	}
+}
+
+// NewAtomicHistogram builds a histogram over the given bucket upper bounds.
+// Bounds must be finite; they are sorted and deduplicated. Nil or empty
+// bounds default to DefaultLatencyBuckets.
+func NewAtomicHistogram(bounds []float64) *AtomicHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		bs = append(bs, b)
+	}
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	if len(dedup) == 0 {
+		dedup = DefaultLatencyBuckets()
+	}
+	return &AtomicHistogram{
+		bounds: dedup,
+		counts: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe records one observation. NaN observations are dropped (they
+// would poison the sum and land in no bucket).
+func (h *AtomicHistogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	// First bucket whose upper bound contains x; past the last bound
+	// lands in the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time view: cumulative counts per
+// bucket upper bound (the exposition's `le` series), plus exact count
+// and sum. CumCounts is always monotonically non-decreasing and
+// CumCounts[len-1] <= Count (the +Inf bucket holds the remainder).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (seconds for latency).
+	Bounds []float64 `json:"bounds"`
+	// CumCounts[i] counts observations <= Bounds[i].
+	CumCounts []uint64 `json:"cum_counts"`
+	// Count and Sum are exact over all observations.
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+// Snapshot returns the current cumulative view. It is safe to call
+// concurrently with Observe; per-bucket reads are individually atomic,
+// so a racing observation may appear in count but not yet a bucket (or
+// vice versa) — cumulative monotonicity is preserved by construction
+// because buckets are summed, never read as precomputed cumulatives.
+func (h *AtomicHistogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:    h.bounds,
+		CumCounts: make([]uint64, len(h.bounds)),
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		snap.CumCounts[i] = cum
+	}
+	// Count must dominate the largest finite cumulative so the +Inf
+	// bucket (rendered as Count) never reads below its predecessor under
+	// a racing Observe.
+	snap.Count = cum + h.counts[len(h.bounds)].Load()
+	if c := h.count.Load(); c > snap.Count {
+		snap.Count = c
+	}
+	snap.Sum = math.Float64frombits(h.sumBits.Load())
+	return snap
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewAtomicHistogram([]float64{0.001, 0.01, 0.1})
+	for _, x := range []float64{0.0005, 0.001, 0.005, 0.05, 0.5, math.NaN()} {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", s.Count)
+	}
+	// 0.0005 and 0.001 land <= 0.001 (upper bounds are inclusive);
+	// 0.005 <= 0.01; 0.05 <= 0.1; 0.5 in +Inf.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if s.CumCounts[i] != w {
+			t.Errorf("cum[%d] (le=%g) = %d, want %d", i, s.Bounds[i], s.CumCounts[i], w)
+		}
+	}
+	if wantSum := 0.0005 + 0.001 + 0.005 + 0.05 + 0.5; math.Abs(s.Sum-wantSum) > 1e-12 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramSnapshotMonotone(t *testing.T) {
+	h := NewAtomicHistogram(nil) // default latency buckets
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := 1e-6
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(x)
+				x *= 1.7
+				if x > 20 {
+					x = 1e-6
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var prev uint64
+		for j, c := range s.CumCounts {
+			if c < prev {
+				t.Fatalf("cumulative counts not monotone at bucket %d: %d < %d", j, c, prev)
+			}
+			prev = c
+		}
+		if s.Count < prev {
+			t.Fatalf("+Inf count %d below last finite cumulative %d", s.Count, prev)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramSanitizesBounds(t *testing.T) {
+	h := NewAtomicHistogram([]float64{0.1, math.Inf(1), 0.001, math.NaN(), 0.1})
+	s := h.Snapshot()
+	if len(s.Bounds) != 2 || s.Bounds[0] != 0.001 || s.Bounds[1] != 0.1 {
+		t.Fatalf("bounds = %v, want [0.001 0.1] (sorted, deduped, non-finite dropped)", s.Bounds)
+	}
+}
