@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build fmt-check vet test race docs-check check bench bench-serve bench-sweep \
 	loadtest loadtest-colocation bench-baseline bench-check cover lint metrics-smoke \
-	fuzz fuzz-smoke clean
+	fuzz fuzz-smoke chaos-smoke clean
 
 all: check
 
@@ -27,7 +27,7 @@ race:
 # the obs metric registries or event vocabulary, or a package loses its
 # godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race
@@ -106,9 +106,21 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeResult -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
+	$(GO) test -run xxx -fuzz FuzzParseRateSchedule -fuzztime $(FUZZTIME) ./internal/workload
 
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
+
+# chaos-smoke mirrors CI's chaos job locally: a short soak over an
+# in-process 3-replica cluster with live fault injection (kills, hangs,
+# error bursts), failing unless per-class conservation, the goroutine
+# bracket, and the heap bound all hold at the end. Artifacts land in
+# /tmp for inspection. SOAK overrides the duration (CI uses 30s).
+SOAK ?= 10s
+chaos-smoke:
+	$(GO) run -race ./cmd/arch21 loadtest -chaos -soak-duration $(SOAK) \
+		-replicas 3 -clients 8 -seed 1 \
+		-events-log /tmp/chaos-events.ndjson -json /tmp/chaos.json
 
 clean:
 	$(GO) clean ./...

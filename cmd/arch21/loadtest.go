@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,9 @@ func cmdLoadtest(args []string) {
 	workers := fs.Int("workers", 4, "in-process engine worker-pool size")
 	lcSLO := fs.Duration("lc-slo", 0, "attach the QoS feedback controller to the in-process engine at this interactive p99 SLO; its decisions land in the report's events timeline (0 = off)")
 	maxprocs := fs.Int("maxprocs", 0, "pin GOMAXPROCS for the run (0 = leave alone; CI pins 1 so baselines compare across machines)")
+	chaos := fs.Bool("chaos", false, "run a chaos soak instead of a catalog scenario: replica kills, hangs, and error bursts under live load, asserting conservation, goroutine, and heap invariants (exit 1 on any violation)")
+	soakDuration := fs.Duration("soak-duration", 30*time.Second, "with -chaos: the soak length")
+	eventsLog := fs.String("events-log", "", "with -chaos: append the router's control-plane events (ejections, re-admissions) to this file as NDJSON")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr,
 			"usage: arch21 loadtest -scenario <name> [-duration 5s] [-clients N] [-rate R] [-http addr] [-json out.json]")
@@ -51,8 +55,19 @@ func cmdLoadtest(args []string) {
 
 	if *list {
 		for _, sc := range load.Scenarios() {
-			fmt.Printf("%-12s %s-loop, %d variants  %s\n", sc.Name, sc.Mode, len(sc.Variants), sc.Doc)
+			nv := len(sc.Variants)
+			for _, tm := range sc.Tenants {
+				nv += len(tm.Variants)
+			}
+			fmt.Printf("%-12s %s-loop, %d variants  %s\n", sc.Name, sc.Mode, nv, sc.Doc)
 		}
+		return
+	}
+	if *chaos {
+		if *maxprocs > 0 {
+			runtime.GOMAXPROCS(*maxprocs)
+		}
+		runChaos(*soakDuration, *replicas, *clients, *workers, *seed, *eventsLog, *jsonOut)
 		return
 	}
 	if *scenario == "" {
@@ -229,6 +244,9 @@ func cmdBenchcmp(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	for _, s := range cmp.Skipped {
+		fmt.Fprintf(os.Stderr, "arch21: benchcmp: warning: skipped %s\n", s)
+	}
 	for _, d := range cmp.Deltas {
 		gate := "info "
 		if d.Gated {
@@ -250,6 +268,65 @@ func cmdBenchcmp(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("no gated regressions (tolerance %.0f%%)\n", *tolerance*100)
+}
+
+// runChaos runs the soak/chaos mode and exits nonzero on any failed
+// invariant check.
+func runChaos(duration time.Duration, replicas, clients, workers int, seed uint64, eventsLog, jsonOut string) {
+	opt := load.ChaosOptions{
+		Duration: duration,
+		Seed:     seed,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "arch21: "+format+"\n", args...)
+		},
+	}
+	if replicas > 0 {
+		opt.Replicas = replicas
+	}
+	if clients > 0 {
+		opt.Clients = clients
+	}
+	if workers != 4 { // 4 is the flag default; 0 keeps the chaos default
+		opt.Workers = workers
+	}
+	if eventsLog != "" {
+		f, err := os.OpenFile(eventsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		opt.EventsSink = f
+	}
+	res, err := load.RunChaos(opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("chaos soak: %.0fs, %d replicas, %d clients: %d requests (%d errors), %d kills, %d hangs, %d bursts\n",
+		res.DurationSeconds, res.Replicas, res.Clients,
+		res.Requests, res.Errors, res.Kills, res.Hangs, res.Bursts)
+	failed := 0
+	for _, c := range res.Checks {
+		status := "ok"
+		if !c.Passed {
+			status = "FAILED"
+			failed++
+		}
+		fmt.Printf("  %-24s %-6s %s\n", c.Name, status, c.Detail)
+	}
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "arch21: chaos: %d invariant check(s) failed\n", failed)
+		os.Exit(1)
+	}
 }
 
 // fmtLatency renders a latency in seconds human-readably.

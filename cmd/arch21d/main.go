@@ -91,6 +91,7 @@ func main() {
 	batchRate := flag.Float64("batch-rate", 0, "token-bucket rate for batch-class admissions (grid points/s; 0 = unthrottled)")
 	lcSLO := flag.Duration("lc-slo", 0, "interactive p99 SLO: a feedback controller retunes -batch-rate every second to hold it (0 = static rate)")
 	eventsLog := flag.String("events-log", "", "append every control-plane event to this file as NDJSON (the in-memory ring serves /events regardless)")
+	tenants := flag.String("tenants", "", "comma-separated tenant vocabulary: keep per-tenant books and /metrics families; requests with an unlisted (or no) X-Arch21-Tenant header fold into \"other\"")
 	peers := flag.String("peers", "", "comma-separated replica addresses: run as a consistent-hash routing front-end instead of serving locally")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -107,7 +108,8 @@ func main() {
 		// dropping engine flags would let an operator believe they
 		// configured a cache that does not exist.
 		engineOnly := map[string]bool{"shards": true, "ttl": true, "workers": true,
-			"snapshot": true, "snapshot-every": true, "batch-rate": true, "lc-slo": true}
+			"snapshot": true, "snapshot-every": true, "batch-rate": true, "lc-slo": true,
+			"tenants": true}
 		flag.Visit(func(f *flag.Flag) {
 			if engineOnly[f.Name] {
 				fmt.Fprintf(os.Stderr, "arch21d: -%s configures the local engine and has no effect with -peers\n", f.Name)
@@ -134,12 +136,19 @@ func main() {
 		log.Printf("arch21d: routing front-end for %d replicas on %s (peers=%s)",
 			len(backends), *addr, *peers)
 	} else {
+		var vocab []string
+		for _, name := range strings.Split(*tenants, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				vocab = append(vocab, name)
+			}
+		}
 		engine := serve.NewEngine(serve.Config{
 			Shards:       *shards,
 			TTL:          *ttl,
 			Workers:      *workers,
 			BatchRate:    *batchRate,
 			SnapshotPath: *snapshot,
+			Tenants:      vocab,
 		})
 		defer engine.Close()
 		if *eventsLog != "" {

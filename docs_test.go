@@ -223,7 +223,9 @@ func TestQoSDocsCoverAdmit(t *testing.T) {
 // vocabulary is pinned to obs.EventTypes(); README's observability
 // quickstart must cover the endpoints and the ctl flow.
 func TestObservabilityDocsCoverObs(t *testing.T) {
-	eng := serve.NewEngine(serve.Config{Workers: 1})
+	// A tenant vocabulary is configured so the tenant-labeled families
+	// register and the both-directions check covers them too.
+	eng := serve.NewEngine(serve.Config{Workers: 1, Tenants: []string{"alpha"}})
 	defer eng.Close()
 	rt, err := router.New([]router.Backend{router.NewEngineBackend(eng, "e0")}, router.Config{})
 	if err != nil {
@@ -314,6 +316,67 @@ func TestObservabilityDocsCoverObs(t *testing.T) {
 	} {
 		if !strings.Contains(sec, want) {
 			t.Errorf("README observability section no longer mentions %q", want)
+		}
+	}
+}
+
+// The adversarial-workload docs cannot drift: DESIGN.md §6 must cover
+// the rate-schedule spec syntax, churn, the schema-3 report fields, the
+// Compare schema-mismatch skip, and the soak/chaos mode with its three
+// invariants; §8 must carry the tenant header contract; README must
+// document the chaos flags and the new scenarios. (The §6 scenario
+// table itself is pinned dynamically to load.Scenarios() by
+// TestReplicaDocsCoverRouter, so the diurnal/flash-crowd/multi-tenant
+// rows are already enforced there.)
+func TestAdversarialWorkloadDocs(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s6 := strings.Index(doc, "## §6")
+	s7 := strings.Index(doc, "## §7")
+	if s6 < 0 || s7 < 0 || s7 <= s6 {
+		t.Fatal("DESIGN.md lost its §6/§7 structure")
+	}
+	sec6 := strings.Join(strings.Fields(doc[s6:s7]), " ")
+	for _, want := range []string{
+		"RateSchedule", "`rate@dur`", "`lo:hi@dur`", "FuzzParseRateSchedule",
+		"churn", "`schema: 3`", "`per_tenant`", "fairness_index",
+		"Jain", "`skipped`", "re-measure the baseline",
+		"-chaos", "-soak-duration", "RunChaos", "FaultBackend",
+		"hits + deduped + sheds + executions == requests",
+		"NumGoroutine", "heap growth", "chaos-smoke",
+	} {
+		if !strings.Contains(sec6, want) {
+			t.Errorf("DESIGN.md §6 no longer mentions %q", want)
+		}
+	}
+	s8 := strings.Index(doc, "## §8")
+	if s8 < 0 {
+		t.Fatal("DESIGN.md has no §8")
+	}
+	sec8 := strings.Join(strings.Fields(doc[s8:]), " ")
+	for _, want := range []string{
+		admit.HeaderTenant, "admit.WithTenant", "`other` bucket",
+		"declared, not trusted",
+	} {
+		if !strings.Contains(sec8, want) {
+			t.Errorf("DESIGN.md §8 no longer mentions %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := string(readme)
+	for _, want := range []string{
+		"-chaos", "-soak-duration", "chaos-smoke", "-tenants",
+		"flash-crowd", "diurnal", "multi-tenant", "fairness",
+	} {
+		if !strings.Contains(rdoc, want) {
+			t.Errorf("README.md no longer mentions %q", want)
 		}
 	}
 }

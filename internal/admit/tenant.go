@@ -1,0 +1,46 @@
+package admit
+
+import (
+	"context"
+	"fmt"
+)
+
+// HeaderTenant carries the request's tenant across HTTP hops, exactly
+// like HeaderClass. The tenant is a free-form identity at this layer;
+// the accounting edge (serve's per-tenant books) folds identities
+// outside its configured vocabulary into an "other" bucket, so metric
+// cardinality stays config-derived no matter what arrives on the wire.
+const HeaderTenant = "X-Arch21-Tenant"
+
+// MaxTenantLen caps the tenant identity length accepted from a request;
+// anything longer is a client bug (or abuse), not a tenant.
+const MaxTenantLen = 100
+
+type tenantKey struct{}
+
+// WithTenant tags a context with a tenant identity. An empty tenant is
+// a no-op (the context stays untagged).
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the context's tenant, "" when untagged.
+func TenantFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// ParseTenant validates a tenant identity from the wire: empty means no
+// tenant, anything over MaxTenantLen is rejected.
+func ParseTenant(s string) (string, error) {
+	if len(s) > MaxTenantLen {
+		return "", fmt.Errorf("admit: tenant identity longer than %d bytes", MaxTenantLen)
+	}
+	return s, nil
+}

@@ -43,6 +43,11 @@ type Comparison struct {
 	Tolerance float64 `json:"tolerance"`
 	// Deltas holds every compared metric.
 	Deltas []Delta `json:"deltas"`
+	// Skipped names scenarios excluded from comparison because one side
+	// carries a different schema version — a migration window, not a
+	// pass: callers must surface each entry as a warning so a baseline
+	// that needs re-measuring is named, never silently vacated.
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // Regressions returns the deltas that failed their gate.
@@ -76,7 +81,10 @@ func change(old, new float64) float64 {
 // latencyGateFloor; error rate must not rise by more than errorRateSlack
 // absolute. p50 and cache hit ratio are reported as informational deltas.
 // Every old scenario must appear in new (a vanished scenario is an
-// error), and both sides must carry the current schema version.
+// error). A scenario whose two reports disagree on schema version is
+// skipped — recorded in Comparison.Skipped, not an error — so a schema
+// bump does not hard-fail CI against the pre-bump baseline; the skip
+// list names exactly which baselines need re-measuring.
 func Compare(old, new []Report, tolerance float64) (Comparison, error) {
 	if tolerance <= 0 || tolerance >= 1 {
 		return Comparison{}, fmt.Errorf("load: tolerance must be in (0, 1), got %v", tolerance)
@@ -107,9 +115,11 @@ func Compare(old, new []Report, tolerance float64) (Comparison, error) {
 	cmp := Comparison{Tolerance: tolerance}
 	for _, o := range old {
 		n := byScenario[o.Scenario]
-		if o.Schema != SchemaVersion || n.Schema != SchemaVersion {
-			return Comparison{}, fmt.Errorf("load: %s: schema version mismatch (old %d, new %d, want %d)",
-				o.Scenario, o.Schema, n.Schema, SchemaVersion)
+		if o.Schema != n.Schema {
+			cmp.Skipped = append(cmp.Skipped, fmt.Sprintf(
+				"%s: schema version mismatch (old %d, new %d) — re-measure the baseline at schema %d",
+				o.Scenario, o.Schema, n.Schema, SchemaVersion))
+			continue
 		}
 
 		// Throughput: normalized to each machine's calibration when both

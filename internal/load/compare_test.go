@@ -95,16 +95,6 @@ func TestCompareTable(t *testing.T) {
 			wantErr: "missing",
 		},
 		{
-			name: "schema version mismatch errors",
-			old:  []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
-			new: func() []Report {
-				r := cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)
-				r.Schema = SchemaVersion + 1
-				return []Report{r}
-			}(),
-			wantErr: "schema version mismatch",
-		},
-		{
 			name:    "empty baseline errors",
 			old:     nil,
 			new:     []Report{cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)},
@@ -216,6 +206,59 @@ func TestCompareMissingScenariosAreNamed(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// A scenario whose two reports disagree on schema version is skipped
+// with a named warning, not an error and not a silent pass — the
+// migration path when SchemaVersion bumps and the committed baseline
+// still carries the old schema.
+func TestCompareSchemaMismatchSkipsScenario(t *testing.T) {
+	oldStale := cmpReport("warm-hammer", 1000, 0.002, 0, 1e9)
+	oldStale.Schema = SchemaVersion - 1
+	oldCurrent := cmpReport("cluster-scatter", 400, 0.002, 0, 1e9)
+	// The stale-schema scenario regresses hard; the skip must swallow the
+	// delta (it is incomparable) while the current-schema scenario still
+	// gates normally.
+	newBad := cmpReport("warm-hammer", 100, 0.1, 0.5, 1e9)
+	newOK := cmpReport("cluster-scatter", 420, 0.002, 0, 1e9)
+
+	cmp, err := Compare([]Report{oldStale, oldCurrent}, []Report{newBad, newOK}, 0.25)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(cmp.Skipped) != 1 {
+		t.Fatalf("Skipped = %v, want exactly the stale scenario", cmp.Skipped)
+	}
+	for _, want := range []string{"warm-hammer", "schema version mismatch", "re-measure"} {
+		if !strings.Contains(cmp.Skipped[0], want) {
+			t.Errorf("skip warning %q does not contain %q", cmp.Skipped[0], want)
+		}
+	}
+	if cmp.Regressed() {
+		t.Fatalf("skipped scenario's deltas leaked into the gate: %+v", cmp.Regressions())
+	}
+	// Only the comparable scenario contributes deltas.
+	for _, d := range cmp.Deltas {
+		if d.Scenario != "cluster-scatter" {
+			t.Fatalf("delta for skipped scenario %s: %+v", d.Scenario, d)
+		}
+	}
+	if len(cmp.Deltas) != 5 {
+		t.Fatalf("got %d deltas for the comparable scenario, want 5", len(cmp.Deltas))
+	}
+
+	// Matching-but-stale schemas on both sides still compare: the skip is
+	// about disagreement, not about age.
+	newStale := cmpReport("warm-hammer", 990, 0.002, 0, 1e9)
+	newStale.Schema = SchemaVersion - 1
+	cmp2, err := Compare([]Report{oldStale}, []Report{newStale}, 0.25)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(cmp2.Skipped) != 0 || len(cmp2.Deltas) != 5 {
+		t.Fatalf("equal-schema reports should compare: skipped=%v deltas=%d",
+			cmp2.Skipped, len(cmp2.Deltas))
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 // Variant is one distinct request the generator can issue: an experiment
@@ -35,6 +36,11 @@ type Variant struct {
 	// admit.Interactive). The target carries it to the scheduler — as a
 	// context tag in-process, as X-Arch21-Class over HTTP.
 	Class admit.Class
+	// Tenant is the tenant identity the variant is issued under (empty
+	// for untenanted traffic). Carried like Class — context tag
+	// in-process, X-Arch21-Tenant over HTTP — and stamped by the runner
+	// from the owning TenantMix in multi-tenant scenarios.
+	Tenant string
 }
 
 // String renders the variant like an engine cache key ("E7?bces=64&f=0.9";
@@ -101,6 +107,22 @@ type Scenario struct {
 	Reset bool
 	// Seed drives trace generation and client key draws.
 	Seed uint64
+	// Schedule, when set, replaces the constant open-loop Rate with a
+	// piecewise rate schedule: arrivals follow its ramps and steps (a
+	// non-homogeneous Poisson process), the default duration becomes the
+	// schedule's natural span, and an explicit -duration stretches or
+	// compresses the schedule to fit (shape preserved). Open loop only.
+	Schedule *workload.RateSchedule
+	// Churn permutes the Zipf rank→variant mapping at every Schedule
+	// segment boundary, so a regime change moves the hot set as well as
+	// the rate.
+	Churn bool
+	// Tenants, when non-empty, makes the scenario multi-tenant: each mix
+	// runs its own closed-loop client group over its own catalog, every
+	// request stamped with the tenant identity, and the report carries
+	// per-tenant books plus Jain's fairness index. Closed loop only;
+	// Variants may be empty when Tenants is set.
+	Tenants []TenantMix
 	// Batch, when set, couples the scenario with a concurrent batch-class
 	// storm: closed-loop clients hammering Batch.Variants for the same
 	// measured window, recorded separately so the report splits latency
@@ -117,6 +139,22 @@ type BatchStorm struct {
 	// Class is forced to admit.Batch at scenario construction.
 	Variants []Variant
 	// Clients is the closed-loop batch concurrency (default 8).
+	Clients int
+}
+
+// TenantMix is one tenant's slice of a multi-tenant scenario: its own
+// variant catalog and Zipf skew (the same contract as the scenario-level
+// fields) driven by its own closed-loop client group. Offered-load skew
+// between tenants is expressed through Clients — a 10-client tenant
+// offers 10x the demand of a 1-client tenant.
+type TenantMix struct {
+	// Name is the tenant identity stamped on every request.
+	Name string
+	// Variants is the tenant's request catalog, hottest first.
+	Variants []Variant
+	// Skew is the tenant's Zipf exponent (0 = round-robin).
+	Skew float64
+	// Clients is the tenant's closed-loop client count (default 2).
 	Clients int
 }
 
@@ -196,6 +234,10 @@ func Scenarios() []Scenario {
 		gridVariants("E7", "f=0.9:0.99:0.005", "bces=16,64,256,1024,4096"),
 		gridVariants("E5", "operands=1:8:1", "tile=256,1024,4096,16384,65536")...,
 	))
+	// Non-stationary arrival shapes (scaled to -duration when one is
+	// given): a day compressed to ten seconds, and a 10x step storm.
+	diurnal := workload.MustRateSchedule("60@2s,60:240@2s,240@2s,240:60@2s,60@2s")
+	flash := workload.MustRateSchedule("150@2s,1500@1s,150@2s")
 	return []Scenario{
 		{
 			Name: "warm-hammer",
@@ -232,6 +274,26 @@ func Scenarios() []Scenario {
 			Doc:  "warm interactive hammer colocated with a concurrent batch sweep-storm: per-class report proves batch pressure is not moving interactive p99",
 			Mode: ClosedLoop, Variants: warm, Skew: 1.1, Clients: 8, Warm: true, Seed: 7,
 			Batch: &BatchStorm{Variants: batchStorm, Clients: 8},
+		},
+		{
+			Name: "diurnal",
+			Doc:  "open-loop trough-peak-trough rate ramp over the mixed catalog with Zipf churn at segment boundaries: the admission scheduler and -lc-slo controller through a regime change, not steady state",
+			Mode: OpenLoop, Variants: mixed, Skew: 0.9, Schedule: &diurnal, Churn: true, Seed: 8,
+		},
+		{
+			Name: "flash-crowd",
+			Doc:  "open-loop 10x step storm over the warmed hot set with churn: arrivals overrun capacity for one segment, then fall back — the token bucket and controller must absorb the step and recover after it ends",
+			Mode: OpenLoop, Variants: warm, Skew: 1.1, Schedule: &flash, Churn: true, Warm: true, Seed: 9,
+		},
+		{
+			Name: "multi-tenant",
+			Doc:  "three closed-loop tenants with distinct Zipf mixes, classes, and a 10:1 offered-load skew (anchor 10 clients vs tail 1): per-tenant books and Jain's fairness index land in the report",
+			Mode: ClosedLoop, Warm: true, Seed: 10,
+			Tenants: []TenantMix{
+				{Name: "anchor", Variants: warm, Skew: 1.1, Clients: 10},
+				{Name: "tail", Variants: mixed, Skew: 0.9, Clients: 1},
+				{Name: "bulk", Variants: asBatch(gridVariants("E1", "gens=1:12:1")), Skew: 0, Clients: 2},
+			},
 		},
 	}
 }

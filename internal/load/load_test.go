@@ -58,8 +58,8 @@ func (s *stubTarget) count(k string) int {
 // the core registry.
 func TestScenarioCatalogResolves(t *testing.T) {
 	scs := Scenarios()
-	if len(scs) != 7 {
-		t.Fatalf("catalog has %d scenarios, want 7", len(scs))
+	if len(scs) != 10 {
+		t.Fatalf("catalog has %d scenarios, want 10", len(scs))
 	}
 	seen := map[string]bool{}
 	for _, sc := range scs {
@@ -70,7 +70,7 @@ func TestScenarioCatalogResolves(t *testing.T) {
 		if sc.Doc == "" {
 			t.Errorf("%s: no doc line", sc.Name)
 		}
-		if len(sc.Variants) == 0 {
+		if len(sc.Variants) == 0 && len(sc.Tenants) == 0 {
 			t.Fatalf("%s: no variants", sc.Name)
 		}
 		variants := sc.Variants
@@ -79,6 +79,17 @@ func TestScenarioCatalogResolves(t *testing.T) {
 				t.Fatalf("%s: batch storm with no variants", sc.Name)
 			}
 			variants = append(append([]Variant{}, variants...), sc.Batch.Variants...)
+		}
+		for _, tm := range sc.Tenants {
+			if tm.Name == "" || len(tm.Variants) == 0 {
+				t.Fatalf("%s: tenant mix %+v lacks a name or variants", sc.Name, tm)
+			}
+			variants = append(append([]Variant{}, variants...), tm.Variants...)
+		}
+		if sc.Schedule != nil {
+			if err := sc.Schedule.Validate(); err != nil {
+				t.Fatalf("%s: invalid rate schedule: %v", sc.Name, err)
+			}
 		}
 		for _, v := range variants {
 			e, ok := core.ByID(v.ID)
@@ -90,7 +101,7 @@ func TestScenarioCatalogResolves(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"warm-hammer", "cold-storm", "mixed-zipf", "herd", "cluster-scatter", "param-churn", "colocation"} {
+	for _, name := range []string{"warm-hammer", "cold-storm", "mixed-zipf", "herd", "cluster-scatter", "param-churn", "colocation", "diurnal", "flash-crowd", "multi-tenant"} {
 		if _, ok := ScenarioByName(name); !ok {
 			t.Fatalf("ScenarioByName(%q) missing", name)
 		}

@@ -10,12 +10,15 @@ import (
 	"repro/internal/obs"
 )
 
-// SchemaVersion is the BENCH_*.json artifact schema. Compare refuses to
-// diff reports across schema versions; bump it on any incompatible field
-// change. Schema 2 added the control-plane event timeline (Events) so a
-// colocation artifact carries the controller's decisions alongside the
-// latency verdict they produced.
-const SchemaVersion = 2
+// SchemaVersion is the BENCH_*.json artifact schema. Compare skips (and
+// names) scenarios whose reports carry another schema version; bump it
+// on any incompatible field change. Schema 2 added the control-plane
+// event timeline (Events) so a colocation artifact carries the
+// controller's decisions alongside the latency verdict they produced.
+// Schema 3 added the adversarial-workload fields: the rate-schedule/
+// churn/tenant configuration knobs and the per-tenant books with Jain's
+// fairness index.
+const SchemaVersion = 3
 
 // Config records the knobs a report was measured under, so a trajectory
 // of BENCH artifacts is self-describing.
@@ -31,6 +34,15 @@ type Config struct {
 	Clients int     `json:"clients,omitempty"`
 	Rate    float64 `json:"rate,omitempty"`
 	Skew    float64 `json:"skew,omitempty"`
+	// Schedule is the piecewise rate schedule the open loop followed
+	// (spec syntax, as run — i.e. after any -duration scaling), empty
+	// for constant-rate runs. Churn reports whether the Zipf rank→
+	// variant mapping permuted at segment boundaries.
+	Schedule string `json:"schedule,omitempty"`
+	Churn    bool   `json:"churn,omitempty"`
+	// Tenants names the scenario's tenant mixes, in catalog order;
+	// empty for single-tenant runs.
+	Tenants []string `json:"tenants,omitempty"`
 	// Seed drove trace generation and client key draws.
 	Seed uint64 `json:"seed"`
 	// Variants is the request catalog size.
@@ -105,6 +117,16 @@ type Metrics struct {
 	// single-class runs measured before this field existed (the addition
 	// is schema-compatible: all prior fields are unchanged).
 	PerClass map[string]ClassMetrics `json:"per_class,omitempty"`
+	// PerTenant splits the outcome by tenant for multi-tenant scenarios
+	// (same shape as a class slice — a tenant's issued/succeeded/latency
+	// books), keyed by tenant name. Absent otherwise.
+	PerTenant map[string]ClassMetrics `json:"per_tenant,omitempty"`
+	// FairnessIndex is Jain's index over each tenant's success ratio
+	// (successful/issued): demand-normalized, so offered-load skew alone
+	// does not lower it, while a tenant starved by sheds does. 1 is
+	// perfectly fair, 1/n is one tenant taking everything; 0 when the
+	// run had no tenant mixes.
+	FairnessIndex float64 `json:"fairness_index,omitempty"`
 }
 
 // Report is one scenario run — the versioned, machine-readable BENCH

@@ -42,7 +42,7 @@ const (
 	sampleCap = 1 << 15
 )
 
-// classRec accumulates one class's measurements.
+// classRec accumulates one class's (or one tenant's) measurements.
 type classRec struct {
 	rec      *stats.LatencyRecorder
 	requests atomic.Int64
@@ -51,18 +51,82 @@ type classRec struct {
 	shared   atomic.Int64
 }
 
+// foldRec folds one record's books into report metrics over the
+// achieved window.
+func foldRec(cr *classRec, elapsed time.Duration) ClassMetrics {
+	r := cr.requests.Load()
+	e := cr.errs.Load()
+	ok := r - e
+	snap := cr.rec.Snapshot()
+	cm := ClassMetrics{
+		Requests:        r,
+		Errors:          e,
+		DurationSeconds: elapsed.Seconds(),
+		Latency: Latency{
+			Mean: snap.Mean, P50: snap.P50, P95: snap.P95,
+			P99: snap.P99, P999: snap.P999, Min: snap.Min, Max: snap.Max,
+		},
+	}
+	if elapsed > 0 {
+		cm.ThroughputRPS = float64(ok) / elapsed.Seconds()
+	}
+	if r > 0 {
+		cm.ErrorRate = float64(e) / float64(r)
+	}
+	if ok > 0 {
+		cm.CacheHitRatio = float64(cr.hits.Load()) / float64(ok)
+		cm.DedupRatio = float64(cr.shared.Load()) / float64(ok)
+	}
+	return cm
+}
+
 // Run executes one scenario against the target and returns the measured
 // report (Git is left for the caller to stamp). Warmup requests run
 // before the measured window and are excluded from every metric. When
 // the scenario couples a BatchStorm, its batch-class clients hammer the
 // target for the same window and the report's PerClass section splits
 // every metric by class — the top-level Metrics stay the cross-class
-// aggregate.
+// aggregate. A Schedule drives open-loop arrivals through its ramps and
+// steps instead of a constant rate; Tenants adds per-tenant closed-loop
+// client groups, per-tenant books, and Jain's fairness index.
 func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
-	if len(sc.Variants) == 0 {
+	if len(sc.Variants) == 0 && len(sc.Tenants) == 0 {
 		return Report{}, fmt.Errorf("load: scenario %q has no variants", sc.Name)
 	}
+	if len(sc.Tenants) > 0 && sc.Mode != ClosedLoop {
+		return Report{}, fmt.Errorf("load: scenario %q: tenant mixes need closed-loop pacing", sc.Name)
+	}
+	if sc.Schedule != nil {
+		if sc.Mode != OpenLoop {
+			return Report{}, fmt.Errorf("load: scenario %q: a rate schedule needs open-loop pacing", sc.Name)
+		}
+		if err := sc.Schedule.Validate(); err != nil {
+			return Report{}, fmt.Errorf("load: scenario %q: bad schedule: %v", sc.Name, err)
+		}
+	}
+	seenTenant := make(map[string]bool, len(sc.Tenants))
+	for _, tm := range sc.Tenants {
+		if tm.Name == "" || len(tm.Variants) == 0 {
+			return Report{}, fmt.Errorf("load: scenario %q: every tenant mix needs a name and variants", sc.Name)
+		}
+		if seenTenant[tm.Name] {
+			return Report{}, fmt.Errorf("load: scenario %q: duplicate tenant %q", sc.Name, tm.Name)
+		}
+		seenTenant[tm.Name] = true
+	}
+	// The measured window: an explicit -duration wins (a schedule is
+	// stretched or compressed to fit it); otherwise a schedule runs its
+	// natural span, and everything else gets the package default.
 	duration := opt.Duration
+	sched := workload.RateSchedule{}
+	if sc.Schedule != nil {
+		sched = *sc.Schedule
+		if duration > 0 {
+			sched = sched.ScaledTo(duration.Seconds())
+		} else {
+			duration = time.Duration(sched.Duration() * float64(time.Second))
+		}
+	}
 	if duration <= 0 {
 		duration = defaultDuration
 	}
@@ -112,11 +176,29 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 				return Report{}, fmt.Errorf("load: warmup %s: %w", v, err)
 			}
 		}
+		// Tenant warmup carries the tenant identity too: an engine keeping
+		// per-tenant books must not see warmup as anonymous traffic.
+		for _, tm := range sc.Tenants {
+			for _, v := range tm.Variants {
+				v.Tenant = tm.Name
+				if _, err := tgt.Do(v); err != nil {
+					return Report{}, fmt.Errorf("load: warmup %s (tenant %s): %w", v, tm.Name, err)
+				}
+			}
+		}
 	}
 
 	recs := make(map[admit.Class]*classRec, 2)
 	for i, c := range admit.Classes() {
 		recs[c] = &classRec{rec: stats.NewLatencyRecorder(sampleCap, seed+uint64(i))}
+	}
+	// Per-tenant books mirror the per-class ones. The map is fully
+	// populated here, before any client goroutine starts, and only read
+	// afterwards — tenant identities come from the scenario, never from
+	// responses, so the book set is bounded by config.
+	tenantRecs := make(map[string]*classRec, len(sc.Tenants))
+	for i, tm := range sc.Tenants {
+		tenantRecs[tm.Name] = &classRec{rec: stats.NewLatencyRecorder(sampleCap, seed+200+uint64(i))}
 	}
 	agg := stats.NewLatencyRecorder(sampleCap, seed+100)
 
@@ -136,23 +218,40 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 	// arrival in open loop, the send in closed loop) into the variant's
 	// class bucket and the cross-class aggregate. Failed requests count
 	// toward the class error rate but not its latency distribution.
-	measure := func(v Variant, started time.Time) {
+	measure := func(v Variant, started time.Time) bool {
 		cr := recs[v.Class]
+		tr := tenantRecs[v.Tenant]
 		out, err := tgt.Do(v)
 		cr.requests.Add(1)
+		if tr != nil {
+			tr.requests.Add(1)
+		}
 		if err != nil {
 			cr.errs.Add(1)
-			return
+			if tr != nil {
+				tr.errs.Add(1)
+			}
+			return false
 		}
 		lat := time.Since(started).Seconds()
 		cr.rec.Observe(lat)
 		agg.Observe(lat)
+		if tr != nil {
+			tr.rec.Observe(lat)
+		}
 		if out.CacheHit {
 			cr.hits.Add(1)
+			if tr != nil {
+				tr.hits.Add(1)
+			}
 		}
 		if out.Shared {
 			cr.shared.Add(1)
+			if tr != nil {
+				tr.shared.Add(1)
+			}
 		}
+		return true
 	}
 
 	t0 := time.Now()
@@ -179,14 +278,58 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		}
 	}
 
+	// Tenant client groups: each mix drives its own closed-loop clients
+	// over its own catalog, every request stamped with the tenant
+	// identity. A failed request (most often a shed under contention)
+	// backs the client off briefly so a fail-fast shed storm measures
+	// the target's refusal policy instead of a retry busy-loop.
+	var tenantWG sync.WaitGroup
+	if len(sc.Tenants) > 0 {
+		deadline := t0.Add(duration)
+		for ti, tm := range sc.Tenants {
+			tclients := tm.Clients
+			if tclients <= 0 {
+				tclients = 2
+			}
+			next := &atomic.Int64{}
+			for c := 0; c < tclients; c++ {
+				tenantWG.Add(1)
+				go func(ti, c int, tm TenantMix, next *atomic.Int64) {
+					defer tenantWG.Done()
+					var z *stats.Zipf
+					var rng *stats.RNG
+					if tm.Skew > 0 && len(tm.Variants) > 1 {
+						z = stats.NewZipf(len(tm.Variants), tm.Skew)
+						rng = stats.NewRNG(seed + uint64(ti)*2000003 + uint64(c)*1000003 + 1)
+					}
+					for time.Now().Before(deadline) {
+						var v Variant
+						if z != nil {
+							v = tm.Variants[z.Rank(rng)-1]
+						} else {
+							v = tm.Variants[int((next.Add(1)-1)%int64(len(tm.Variants)))]
+						}
+						v.Tenant = tm.Name
+						if !measure(v, time.Now()) {
+							time.Sleep(200 * time.Microsecond)
+						}
+					}
+				}(ti, c, tm, next)
+			}
+		}
+	}
+
 	switch sc.Mode {
 	case OpenLoop:
-		n := int(rate * duration.Seconds())
-		if n < 1 {
-			n = 1
-		}
-		if n > maxOpenRequests {
-			n = maxOpenRequests
+		n := maxOpenRequests
+		if sc.Schedule == nil {
+			n = int(rate * duration.Seconds())
+			if n < 1 {
+				n = 1
+			}
+			if n > maxOpenRequests {
+				n = maxOpenRequests
+			}
 		}
 		// Service demand is the target's to determine, so the trace's
 		// service distribution is irrelevant — only arrivals and keys are
@@ -196,7 +339,10 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		rng := stats.NewRNG(seed)
 		var trace workload.RequestTrace
 		var idx []int
-		if sc.Skew > 0 {
+		if sc.Schedule != nil {
+			trace = workload.ScheduledZipfTrace(sched, n, len(sc.Variants), sc.Skew, sc.Churn, rng)
+			idx = trace.Assignments(len(sc.Variants))
+		} else if sc.Skew > 0 {
 			trace = workload.ZipfTrace(n, rate, stats.Constant{V: 0},
 				len(sc.Variants), sc.Skew, rng)
 			idx = trace.Assignments(len(sc.Variants))
@@ -225,6 +371,9 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		deadline := t0.Add(duration)
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		if len(sc.Variants) == 0 {
+			clients = 0 // tenant groups carry the whole scenario
+		}
 		for c := 0; c < clients; c++ {
 			c := c
 			wg.Add(1)
@@ -255,6 +404,7 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		return Report{}, fmt.Errorf("load: scenario %q has unknown mode %v", sc.Name, sc.Mode)
 	}
 	stormWG.Wait()
+	tenantWG.Wait()
 	elapsed := time.Since(t0)
 
 	// Fold per-class books into class metrics plus a cross-class
@@ -267,33 +417,32 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		if r == 0 {
 			continue
 		}
-		e := cr.errs.Load()
-		ok := r - e
-		snap := cr.rec.Snapshot()
-		cm := ClassMetrics{
-			Requests:        r,
-			Errors:          e,
-			DurationSeconds: elapsed.Seconds(),
-			Latency: Latency{
-				Mean: snap.Mean, P50: snap.P50, P95: snap.P95,
-				P99: snap.P99, P999: snap.P999, Min: snap.Min, Max: snap.Max,
-			},
-		}
-		if elapsed > 0 {
-			cm.ThroughputRPS = float64(ok) / elapsed.Seconds()
-		}
-		if r > 0 {
-			cm.ErrorRate = float64(e) / float64(r)
-		}
-		if ok > 0 {
-			cm.CacheHitRatio = float64(cr.hits.Load()) / float64(ok)
-			cm.DedupRatio = float64(cr.shared.Load()) / float64(ok)
-		}
-		perClass[c.String()] = cm
+		perClass[c.String()] = foldRec(cr, elapsed)
 		req += r
-		errCount += e
+		errCount += cr.errs.Load()
 		hits += cr.hits.Load()
 		shared += cr.shared.Load()
+	}
+	// Per-tenant books fold the same way; fairness is Jain's index over
+	// each tenant's success ratio (successful/issued) — demand-
+	// normalized, so a 10:1 offered-load skew served without
+	// discrimination still scores ~1, while a starved tenant (its
+	// requests shed while others' succeed) drags the index down.
+	var perTenant map[string]ClassMetrics
+	fairness := 0.0
+	if len(sc.Tenants) > 0 {
+		perTenant = make(map[string]ClassMetrics, len(sc.Tenants))
+		ratios := make([]float64, 0, len(sc.Tenants))
+		for _, tm := range sc.Tenants {
+			tr := tenantRecs[tm.Name]
+			r := tr.requests.Load()
+			if r == 0 {
+				continue
+			}
+			perTenant[tm.Name] = foldRec(tr, elapsed)
+			ratios = append(ratios, float64(r-tr.errs.Load())/float64(r))
+		}
+		fairness = stats.JainFairness(ratios)
 	}
 	snap := agg.Snapshot()
 
@@ -306,7 +455,9 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 			Mean: snap.Mean, P50: snap.P50, P95: snap.P95,
 			P99: snap.P99, P999: snap.P999, Min: snap.Min, Max: snap.Max,
 		},
-		PerClass: perClass,
+		PerClass:      perClass,
+		PerTenant:     perTenant,
+		FairnessIndex: fairness,
 	}
 	if elapsed > 0 {
 		m.ThroughputRPS = float64(ok) / elapsed.Seconds()
@@ -331,6 +482,17 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		calPar = runtime.GOMAXPROCS(0)
 		cfgClients, cfgRate = 0, rate
 	}
+	nVariants := len(sc.Variants)
+	cfgSchedule := ""
+	if sc.Schedule != nil {
+		cfgSchedule = sched.String() // the schedule as run, after scaling
+		cfgRate = 0                  // the schedule is the rate
+	}
+	var cfgTenants []string
+	for _, tm := range sc.Tenants {
+		cfgTenants = append(cfgTenants, tm.Name)
+		nVariants += len(tm.Variants)
+	}
 	var events []obs.Event
 	if evRing != nil {
 		events = evRing.Since(evSince)
@@ -348,8 +510,11 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 			Clients:         cfgClients,
 			Rate:            cfgRate,
 			Skew:            sc.Skew,
+			Schedule:        cfgSchedule,
+			Churn:           sc.Churn,
+			Tenants:         cfgTenants,
 			Seed:            seed,
-			Variants:        len(sc.Variants),
+			Variants:        nVariants,
 			Warm:            sc.Warm,
 			Reset:           resetApplied,
 			Cores:           runtime.GOMAXPROCS(0),

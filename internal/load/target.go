@@ -83,9 +83,13 @@ func (t *ServerTarget) WithReset(reset func()) *ResettableServerTarget {
 	return &ResettableServerTarget{ServerTarget: ServerTarget{srv: t.srv, name: t.name, reset: reset}}
 }
 
-// Do serves one variant through the server under the variant's class.
+// Do serves one variant through the server under the variant's class
+// and, for multi-tenant scenarios, its tenant identity.
 func (t *ServerTarget) Do(v Variant) (Outcome, error) {
 	ctx := admit.WithClass(context.Background(), v.Class)
+	if v.Tenant != "" {
+		ctx = admit.WithTenant(ctx, v.Tenant)
+	}
 	resp, err := t.srv.ServeWith(ctx, v.ID, v.Params)
 	if err != nil {
 		return Outcome{}, err
@@ -159,7 +163,8 @@ type runOutcome struct {
 }
 
 // Do issues one GET /run/{id}?param=... request — batch-class variants
-// carry the X-Arch21-Class header — and decodes the outcome.
+// carry the X-Arch21-Class header, tenant-tagged variants the
+// X-Arch21-Tenant header — and decodes the outcome.
 func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
 	q := url.Values{}
 	for _, a := range v.Params.Assignments() {
@@ -175,6 +180,9 @@ func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
 	}
 	if v.Class != admit.Interactive {
 		req.Header.Set(admit.HeaderClass, v.Class.String())
+	}
+	if v.Tenant != "" {
+		req.Header.Set(admit.HeaderTenant, v.Tenant)
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {

@@ -176,6 +176,9 @@ func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.R
 		return serve.Response{}, fmt.Errorf("router: %s: %v", b.base, err)
 	}
 	req.Header.Set(admit.HeaderClass, admit.ClassFrom(ctx).String())
+	if tenant := admit.TenantFrom(ctx); tenant != "" {
+		req.Header.Set(admit.HeaderTenant, tenant)
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl) - hopBudget
 		if remaining <= 0 {

@@ -1,0 +1,132 @@
+package router
+
+// Fault-injection backend, promoted from the PR 4 test suite so the
+// chaos harness (internal/load's soak mode, `arch21 loadtest -chaos`)
+// and the router's own tests compose the same doubles: replica kills,
+// hard hangs, and error bursts, injected live while real load flows.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// ErrInjectedFault is the failure every FaultBackend fault surfaces, so
+// harness code can tell injected chaos from organic errors.
+var ErrInjectedFault = errors.New("injected fault")
+
+// FaultBackend wraps an inner Backend with operator-controlled faults:
+//
+//   - Kill/Revive — a crashed replica: every Do fails fast and Check
+//     fails, so the router ejects it and probes it back after revival.
+//   - Hang/Release — a wedged replica: Do blocks until released or the
+//     caller's context expires (a hang must not leak goroutines past
+//     their deadlines), while Check still succeeds — the failure mode
+//     health probes cannot see.
+//   - ErrorBurst(n) — the next n calls fail fast: a transient fault
+//     that exercises failover without tripping ejection thresholds
+//     when n is small.
+//
+// All methods are safe for concurrent use.
+type FaultBackend struct {
+	inner Backend
+
+	killed atomic.Bool
+	burst  atomic.Int64
+
+	mu   sync.Mutex
+	hung chan struct{} // non-nil while hanging; closed by Release
+
+	calls  atomic.Int64
+	faults atomic.Int64
+}
+
+// NewFaultBackend wraps inner; the zero state injects nothing.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	return &FaultBackend{inner: inner}
+}
+
+// Kill crash-stops the backend: every Do and Check fails until Revive.
+// In-flight calls complete — a kill is a crash, not a time machine.
+func (f *FaultBackend) Kill() { f.killed.Store(true) }
+
+// Revive brings a killed backend back; the router re-admits it after a
+// successful health probe.
+func (f *FaultBackend) Revive() { f.killed.Store(false) }
+
+// Hang wedges the backend: every Do blocks until Release (or its
+// context's deadline). Health checks keep passing. Hanging an already
+// hung backend is a no-op.
+func (f *FaultBackend) Hang() {
+	f.mu.Lock()
+	if f.hung == nil {
+		f.hung = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// Release unwedges a hung backend, letting blocked calls proceed.
+func (f *FaultBackend) Release() {
+	f.mu.Lock()
+	if f.hung != nil {
+		close(f.hung)
+		f.hung = nil
+	}
+	f.mu.Unlock()
+}
+
+// ErrorBurst makes the next n calls fail fast with ErrInjectedFault.
+func (f *FaultBackend) ErrorBurst(n int) { f.burst.Store(int64(n)) }
+
+// Calls reports total Do attempts; Faults those that failed injected.
+func (f *FaultBackend) Calls() int64  { return f.calls.Load() }
+func (f *FaultBackend) Faults() int64 { return f.faults.Load() }
+
+// Do implements Backend with the configured faults applied.
+func (f *FaultBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
+	f.calls.Add(1)
+	if f.killed.Load() {
+		f.faults.Add(1)
+		return serve.Response{}, ErrInjectedFault
+	}
+	for {
+		f.mu.Lock()
+		hung := f.hung
+		f.mu.Unlock()
+		if hung == nil {
+			break
+		}
+		select {
+		case <-hung:
+			// Released; re-check in case of an immediate re-hang.
+		case <-ctx.Done():
+			f.faults.Add(1)
+			return serve.Response{}, ctx.Err()
+		}
+	}
+	if f.burst.Load() > 0 && f.burst.Add(-1) >= 0 {
+		f.faults.Add(1)
+		return serve.Response{}, ErrInjectedFault
+	}
+	return f.inner.Do(ctx, id, p)
+}
+
+// Check implements Backend: fails while killed, passes while hung (a
+// wedged replica looks healthy to cheap probes — that is the point).
+func (f *FaultBackend) Check() error {
+	if f.killed.Load() {
+		return ErrInjectedFault
+	}
+	return f.inner.Check()
+}
+
+// Name implements Backend.
+func (f *FaultBackend) Name() string { return f.inner.Name() }
+
+// Inner exposes the wrapped backend (chaos assertions read per-replica
+// engine books through it).
+func (f *FaultBackend) Inner() Backend { return f.inner }

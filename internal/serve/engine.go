@@ -68,6 +68,15 @@ type Config struct {
 	// default (nil-params) requests fine but fails with
 	// ErrUnknownExperiment as soon as params are passed.
 	RunnerWith func(ctx context.Context, id string, p core.Params) (core.Result, error)
+	// Tenants declares the per-tenant accounting vocabulary. When
+	// non-empty, the engine keeps per-tenant books (requests, cache
+	// hits, sheds) and registers per-tenant /metrics families; requests
+	// tagged with an unlisted tenant — or none — fold into the "other"
+	// bucket, so metric cardinality is operator config, never
+	// request-derived. A bad vocabulary (duplicates, empty names, more
+	// than obs.MaxBoundedLabelValues entries, a literal "other") panics
+	// at construction, like a bad metric registration.
+	Tenants []string
 	// SnapshotPath, when set, enables the tier-2 disk cache: NewEngine
 	// loads the snapshot file into the in-memory tier (a warm start —
 	// entries that fail to decode as Results are skipped), SaveSnapshot
@@ -105,6 +114,16 @@ type classCounters struct {
 	coldHist *stats.AtomicHistogram
 }
 
+// tenantCounters is one tenant's slice of the engine's books. Unlike the
+// class books there is no per-tenant conservation law: a tenant's
+// deduped/executed requests are accounted under its class; the tenant
+// plane answers "who is driving the traffic and who is being shed".
+type tenantCounters struct {
+	requests atomic.Int64
+	hits     atomic.Int64
+	sheds    atomic.Int64
+}
+
 // Engine serves experiment results concurrently: cache first, then
 // singleflight-deduplicated execution on the class-based admission
 // scheduler (internal/admit), with per-request, per-class latency
@@ -129,6 +148,12 @@ type Engine struct {
 
 	classes   [2]classCounters
 	sampleCap int
+
+	// tenants/tenantBooks are the per-tenant accounting plane: nil/empty
+	// unless Config.Tenants was set. Books are indexed by the bounded
+	// vocabulary's slots (declared tenants, then the overflow bucket).
+	tenants     *obs.BoundedLabels
+	tenantBooks []tenantCounters
 
 	hitLat  *stats.LatencyRecorder
 	coldLat *stats.LatencyRecorder
@@ -248,10 +273,24 @@ func NewEngine(cfg Config) *Engine {
 		c.hitHist = stats.NewAtomicHistogram(nil)
 		c.coldHist = stats.NewAtomicHistogram(nil)
 	}
+	if len(cfg.Tenants) > 0 {
+		e.tenants = obs.NewBoundedLabels(cfg.Tenants, "other")
+		e.tenantBooks = make([]tenantCounters, e.tenants.Len())
+	}
 	if e.snapPath != "" {
 		e.loadSnapshot()
 	}
 	return e
+}
+
+// tenantBook returns the per-tenant counter slot for the context's
+// tenant (unknown and untagged requests share the overflow slot), nil
+// when per-tenant accounting is not configured.
+func (e *Engine) tenantBook(ctx context.Context) *tenantCounters {
+	if e.tenants == nil {
+		return nil
+	}
+	return &e.tenantBooks[e.tenants.Index(admit.TenantFrom(ctx))]
 }
 
 // loadSnapshot warm-starts the in-memory tier from the tier-2 file.
@@ -357,6 +396,10 @@ func (e *Engine) ServeWith(ctx context.Context, id string, p core.Params) (Respo
 	// over everything that was actually admitted to the serving path.
 	cc := &e.classes[class]
 	cc.requests.Add(1)
+	tb := e.tenantBook(ctx)
+	if tb != nil {
+		tb.requests.Add(1)
+	}
 
 	if raw, ok := e.cache.Get(key); ok {
 		res, err := core.DecodeResult(raw)
@@ -366,6 +409,9 @@ func (e *Engine) ServeWith(ctx context.Context, id string, p core.Params) (Respo
 			e.cache.Delete(key)
 		} else {
 			cc.hits.Add(1)
+			if tb != nil {
+				tb.hits.Add(1)
+			}
 			lat := time.Since(t0)
 			e.observe(class, true, lat)
 			return Response{ID: id, Params: resolved, Key: key, Class: class,
@@ -385,6 +431,7 @@ func (e *Engine) ServeWith(ctx context.Context, id string, p core.Params) (Respo
 func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t0 time.Time) (Response, error) {
 	class := admit.ClassFrom(ctx)
 	cc := &e.classes[class]
+	tb := e.tenantBook(ctx)
 	var leaderHit, executed bool
 	raw, err, shared := e.fg.Do(key, func() ([]byte, error) {
 		// A caller can become flight leader just after the previous
@@ -414,6 +461,9 @@ func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t
 		// deadline shed, a cancellation while queued, or a closed
 		// scheduler. All are sheds — admitted requests that did no work.
 		cc.sheds.Add(1)
+		if tb != nil {
+			tb.sheds.Add(1)
+		}
 		reason := "canceled"
 		var shedErr *admit.ShedError
 		data := map[string]float64{}
@@ -437,6 +487,9 @@ func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t
 	lat := time.Since(t0)
 	if leaderHit && !shared {
 		cc.hits.Add(1)
+		if tb != nil {
+			tb.hits.Add(1)
+		}
 		e.observe(class, true, lat)
 		return Response{ID: id, Params: p, Key: key, Class: class, Result: res,
 			CacheHit: true, Latency: lat}, nil
@@ -505,6 +558,14 @@ type ClassMetrics struct {
 	AllLatency  stats.LatencySnapshot `json:"all_latency"`
 }
 
+// TenantMetrics is one tenant's slice of the engine's books (see
+// tenantCounters for what the tenant plane does and does not promise).
+type TenantMetrics struct {
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cache_hits"`
+	Sheds     int64 `json:"sheds"`
+}
+
 // Metrics is a point-in-time engine health snapshot.
 type Metrics struct {
 	// UptimeSeconds is time since NewEngine.
@@ -531,6 +592,10 @@ type Metrics struct {
 	// "batch") — the view that proves batch pressure is not moving
 	// interactive tail latency.
 	Classes map[string]ClassMetrics `json:"classes"`
+	// Tenants splits request/hit/shed counts by tenant when per-tenant
+	// accounting is configured (Config.Tenants); the "other" key
+	// aggregates unlisted and untagged traffic. Absent otherwise.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 	// Scheduler is the admission scheduler's own snapshot: policy,
 	// queue depths, token bucket state, per-class service EWMAs.
 	Scheduler admit.Stats `json:"scheduler"`
@@ -596,6 +661,17 @@ func (e *Engine) Metrics() Metrics {
 		m.Deduped += cm.Deduped
 		m.Executions += cm.Executions
 		m.Sheds += cm.Sheds
+	}
+	if e.tenants != nil {
+		m.Tenants = make(map[string]TenantMetrics, e.tenants.Len())
+		for i := range e.tenantBooks {
+			tb := &e.tenantBooks[i]
+			m.Tenants[e.tenants.Value(i)] = TenantMetrics{
+				Requests:  tb.requests.Load(),
+				CacheHits: tb.hits.Load(),
+				Sheds:     tb.sheds.Load(),
+			}
+		}
 	}
 	return m
 }

@@ -108,8 +108,10 @@ type runEnvelope struct {
 }
 
 // RequestContext derives a request's QoS context from its headers: the
-// class from X-Arch21-Class and the remaining deadline budget from
-// X-Arch21-Deadline-MS, layered onto the request's own cancellation.
+// class from X-Arch21-Class, the tenant identity from X-Arch21-Tenant
+// (free-form here; the engine's bounded books fold unknown tenants into
+// "other"), and the remaining deadline budget from X-Arch21-Deadline-MS,
+// layered onto the request's own cancellation.
 // Shared by the engine's handlers and the routing front-end so both
 // faces of the API speak the same header contract. The returned cancel
 // must be called when the request finishes.
@@ -119,6 +121,11 @@ func RequestContext(r *http.Request) (context.Context, context.CancelFunc, error
 		return nil, nil, err
 	}
 	ctx := admit.WithClass(r.Context(), class)
+	tenant, err := admit.ParseTenant(r.Header.Get(admit.HeaderTenant))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx = admit.WithTenant(ctx, tenant)
 	if h := r.Header.Get(admit.HeaderDeadlineMS); h != "" {
 		ms, err := strconv.ParseFloat(h, 64)
 		if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) || ms <= 0 {

@@ -147,7 +147,36 @@ func (e *Engine) buildRegistry() *obs.Registry {
 		func() float64 { return float64(e.snapSaveFails.Load()) })
 	r.Counter("arch21_events_total", "Control-plane events recorded (the ring retains the newest).",
 		func() float64 { return float64(e.events.Total()) })
+	// The per-tenant plane exists only when a tenant vocabulary was
+	// configured: label values come from Config.Tenants plus the "other"
+	// fold (obs.BoundedLabels), never from request data, so series
+	// cardinality is bounded by operator config.
+	if e.tenants != nil {
+		r.Gauge("arch21_tenants", "Configured tenant vocabulary size, including the \"other\" overflow bucket.",
+			func() float64 { return float64(e.tenants.Len()) })
+		r.CounterVec("arch21_tenant_requests_total", "Validated requests by tenant (unlisted and untagged tenants fold into \"other\").", []string{"tenant"},
+			e.tenantCounterVec(func(t *tenantCounters) int64 { return t.requests.Load() }))
+		r.CounterVec("arch21_tenant_cache_hits_total", "Requests answered from cache, by tenant.", []string{"tenant"},
+			e.tenantCounterVec(func(t *tenantCounters) int64 { return t.hits.Load() }))
+		r.CounterVec("arch21_tenant_sheds_total", "Requests rejected at admission, by tenant.", []string{"tenant"},
+			e.tenantCounterVec(func(t *tenantCounters) int64 { return t.sheds.Load() }))
+	}
 	return r
+}
+
+// tenantCounterVec renders one per-tenant counter family from a field
+// selector over the bounded tenant vocabulary.
+func (e *Engine) tenantCounterVec(get func(*tenantCounters) int64) func() []obs.Sample {
+	return func() []obs.Sample {
+		out := make([]obs.Sample, 0, len(e.tenantBooks))
+		for i := range e.tenantBooks {
+			out = append(out, obs.Sample{
+				Values: []string{e.tenants.Value(i)},
+				Value:  float64(get(&e.tenantBooks[i])),
+			})
+		}
+		return out
+	}
 }
 
 // ControlRequest is the POST /control body: each knob is optional, only

@@ -1,0 +1,32 @@
+package stats
+
+import "math"
+
+// JainFairness returns Jain's fairness index over the allocations xs:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J is 1 when every x is equal, 1/n when one party gets everything, and
+// scale-free (doubling every x leaves it unchanged) — the standard
+// fairness summary for per-tenant service shares. Non-finite and
+// negative entries are rejected by returning NaN (an allocation cannot
+// be negative; propagating garbage as a plausible 0.7 would hide the
+// bug). Fewer than two entries, or all-zero entries, return 1: with
+// nothing to share unequally, the split is vacuously fair.
+func JainFairness(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return math.NaN()
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

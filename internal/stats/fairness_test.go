@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainFairness(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"equal-scaled", []float64{0.001, 0.001}, 1},
+		{"one-takes-all", []float64{1, 0, 0, 0}, 0.25},
+		{"two-to-one", []float64{2, 1}, 0.9},
+		{"all-zero", []float64{0, 0, 0}, 1},
+		{"empty", nil, 1},
+		{"single", []float64{7}, 1},
+	}
+	for _, c := range cases {
+		if got := JainFairness(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainFairness(%v) = %g, want %g", c.name, c.xs, got, c.want)
+		}
+	}
+	// Scale-free: multiplying every share by a constant changes nothing.
+	a := JainFairness([]float64{1, 2, 3, 4})
+	b := JainFairness([]float64{10, 20, 30, 40})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("not scale-free: %g vs %g", a, b)
+	}
+	for _, bad := range [][]float64{{1, -1}, {1, math.NaN()}, {math.Inf(1), 1}} {
+		if got := JainFairness(bad); !math.IsNaN(got) {
+			t.Errorf("JainFairness(%v) = %g, want NaN", bad, got)
+		}
+	}
+}

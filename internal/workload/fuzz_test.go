@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseRateSchedule hammers the schedule-spec parser with arbitrary
+// input. The invariant mirrors FuzzParseAxis's hard-won lesson (NaN axis
+// acceptance, twice): anything the parser accepts must be safe to hand
+// to the trace generator — every rate finite, non-negative, and capped,
+// every duration positive, the total span bounded, and the derived
+// quantities (Duration, MaxRate, ExpectedRequests, Rate at probes)
+// finite. A parser that lets NaN/Inf/negative through would wedge or
+// flood the thinning loop.
+func FuzzParseRateSchedule(f *testing.F) {
+	seeds := []string{
+		"100@1s",
+		"60@2s,60:240@3s,240@2s",
+		"150@2s,1500@1s,150@2s",
+		"0:100@500ms",
+		"1:0@1m",
+		"0@1s,5@1s",
+		" 10 @ 1s , 2:3 @ 2s ",
+		"NaN@1s",
+		"Inf@1s",
+		"-Inf@1s",
+		"0:Inf@1s",
+		"1:NaN@1s",
+		"-5@1s",
+		"1e300@1s",
+		"100@NaNs",
+		"100@-1s",
+		"100@0s",
+		"100@30h",
+		"100",
+		"@1s",
+		"1:2:3@1s",
+		"1@1s,,2@1s",
+		"1e-300:1e6@1ns",
+		"0x1p10@1s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sched, err := ParseRateSchedule(spec)
+		if err != nil {
+			return
+		}
+		if len(sched.Segments) == 0 || len(sched.Segments) > MaxScheduleSegments {
+			t.Fatalf("accepted %q with %d segments", spec, len(sched.Segments))
+		}
+		for i, seg := range sched.Segments {
+			for _, r := range [2]float64{seg.StartRate, seg.EndRate} {
+				if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > MaxScheduleRate {
+					t.Fatalf("accepted %q: segment %d has out-of-range rate %g", spec, i, r)
+				}
+			}
+			if !(seg.DurationSeconds > 0) || math.IsInf(seg.DurationSeconds, 0) {
+				t.Fatalf("accepted %q: segment %d has non-positive duration %g", spec, i, seg.DurationSeconds)
+			}
+		}
+		total := sched.Duration()
+		if !(total > 0) || total > MaxScheduleDuration.Seconds() {
+			t.Fatalf("accepted %q: total span %g out of range", spec, total)
+		}
+		if m := sched.MaxRate(); !(m > 0) || m > MaxScheduleRate {
+			t.Fatalf("accepted %q: MaxRate %g out of range", spec, m)
+		}
+		if e := sched.ExpectedRequests(); math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			t.Fatalf("accepted %q: ExpectedRequests %g", spec, e)
+		}
+		for _, probe := range []float64{0, total / 3, total / 2, total - 1e-9, total + 1} {
+			if r := sched.Rate(probe); math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				t.Fatalf("accepted %q: Rate(%g) = %g", spec, probe, r)
+			}
+		}
+		// Scaling and re-parsing an accepted schedule must stay valid.
+		if err := sched.ScaledTo(total / 2).Validate(); err != nil {
+			t.Fatalf("accepted %q: ScaledTo broke validity: %v", spec, err)
+		}
+		if _, err := ParseRateSchedule(sched.String()); err != nil {
+			t.Fatalf("accepted %q but String() %q does not re-parse: %v", spec, sched.String(), err)
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package workload
+
+// Piecewise rate schedules: production arrival rates are not stationary.
+// A RateSchedule strings together constant or linearly-ramping segments
+// (a diurnal trough→peak→trough, a flash-crowd step) and generates
+// arrival traces from them by thinning a homogeneous Poisson process at
+// the schedule's peak rate. Key popularity churns at segment boundaries:
+// the Zipf rank→key mapping is permuted, so a regime change moves the
+// hot set as well as the rate — the adversarial case for a cache and an
+// admission controller tuned on steady state.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+const (
+	// MaxScheduleSegments caps the number of segments a parsed schedule
+	// may hold; a spec is operator input and a runaway segment list is a
+	// config bug, not a workload.
+	MaxScheduleSegments = 64
+	// MaxScheduleRate caps any segment endpoint rate (req/s). The trace
+	// generator runs a candidate loop at the schedule's peak rate, so the
+	// peak bounds generation work.
+	MaxScheduleRate = 1e6
+	// MaxScheduleDuration caps the schedule's total span.
+	MaxScheduleDuration = 24 * time.Hour
+)
+
+// RateSegment is one piece of a piecewise rate schedule. StartRate and
+// EndRate are arrival rates in req/s at the segment's two ends; equal
+// endpoints give a constant segment, unequal a linear ramp.
+type RateSegment struct {
+	StartRate       float64
+	EndRate         float64
+	DurationSeconds float64
+}
+
+// RateSchedule is a piecewise-linear arrival-rate schedule, the
+// concatenation of its segments starting at t=0.
+type RateSchedule struct {
+	Segments []RateSegment
+}
+
+// ParseRateSchedule parses a comma-separated segment spec. Each segment
+// is "rate@dur" (constant) or "lo:hi@dur" (linear ramp), with dur in
+// time.ParseDuration syntax: "60@2s,60:240@3s,240@2s". Rates must be
+// finite and non-negative, durations positive; NaN, Inf, and negative
+// values are rejected up front (the same class of bug ParseAxis had
+// twice — a non-finite rate would otherwise wedge or flood the thinning
+// loop downstream).
+func ParseRateSchedule(spec string) (RateSchedule, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) > MaxScheduleSegments {
+		return RateSchedule{}, fmt.Errorf("workload: schedule %q: %d segments exceeds cap %d", spec, len(parts), MaxScheduleSegments)
+	}
+	var sched RateSchedule
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return RateSchedule{}, fmt.Errorf("workload: schedule %q: empty segment", spec)
+		}
+		rateSpec, durSpec, ok := strings.Cut(part, "@")
+		if !ok {
+			return RateSchedule{}, fmt.Errorf("workload: segment %q: want rate@dur or lo:hi@dur", part)
+		}
+		dur, err := time.ParseDuration(strings.TrimSpace(durSpec))
+		if err != nil {
+			return RateSchedule{}, fmt.Errorf("workload: segment %q: bad duration: %v", part, err)
+		}
+		var seg RateSegment
+		seg.DurationSeconds = dur.Seconds()
+		loSpec, hiSpec, ramp := strings.Cut(rateSpec, ":")
+		seg.StartRate, err = parseRate(loSpec)
+		if err != nil {
+			return RateSchedule{}, fmt.Errorf("workload: segment %q: %v", part, err)
+		}
+		if ramp {
+			seg.EndRate, err = parseRate(hiSpec)
+			if err != nil {
+				return RateSchedule{}, fmt.Errorf("workload: segment %q: %v", part, err)
+			}
+		} else {
+			seg.EndRate = seg.StartRate
+		}
+		sched.Segments = append(sched.Segments, seg)
+	}
+	if err := sched.Validate(); err != nil {
+		return RateSchedule{}, fmt.Errorf("workload: schedule %q: %v", spec, err)
+	}
+	return sched, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q: %v", s, err)
+	}
+	return v, nil
+}
+
+// MustRateSchedule is ParseRateSchedule for static specs (the scenario
+// catalog); it panics on error.
+func MustRateSchedule(spec string) RateSchedule {
+	sched, err := ParseRateSchedule(spec)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// Validate checks the schedule invariants the generators rely on:
+// at least one segment, every rate finite, non-negative, and under
+// MaxScheduleRate, every duration positive and finite, total span under
+// MaxScheduleDuration, and at least one positive rate somewhere (an
+// all-zero schedule offers no load at all).
+func (s RateSchedule) Validate() error {
+	if len(s.Segments) == 0 {
+		return fmt.Errorf("no segments")
+	}
+	if len(s.Segments) > MaxScheduleSegments {
+		return fmt.Errorf("%d segments exceeds cap %d", len(s.Segments), MaxScheduleSegments)
+	}
+	total := 0.0
+	anyPositive := false
+	for i, seg := range s.Segments {
+		for _, r := range [2]float64{seg.StartRate, seg.EndRate} {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return fmt.Errorf("segment %d: non-finite rate", i)
+			}
+			if r < 0 {
+				return fmt.Errorf("segment %d: negative rate %g", i, r)
+			}
+			if r > MaxScheduleRate {
+				return fmt.Errorf("segment %d: rate %g exceeds cap %g", i, r, MaxScheduleRate)
+			}
+			if r > 0 {
+				anyPositive = true
+			}
+		}
+		if math.IsNaN(seg.DurationSeconds) || math.IsInf(seg.DurationSeconds, 0) || seg.DurationSeconds <= 0 {
+			return fmt.Errorf("segment %d: non-positive duration %g", i, seg.DurationSeconds)
+		}
+		total += seg.DurationSeconds
+	}
+	if total > MaxScheduleDuration.Seconds() {
+		return fmt.Errorf("total duration %gs exceeds cap %s", total, MaxScheduleDuration)
+	}
+	if !anyPositive {
+		return fmt.Errorf("all segment rates are zero")
+	}
+	return nil
+}
+
+// Duration returns the schedule's total span in seconds.
+func (s RateSchedule) Duration() float64 {
+	total := 0.0
+	for _, seg := range s.Segments {
+		total += seg.DurationSeconds
+	}
+	return total
+}
+
+// MaxRate returns the schedule's peak rate.
+func (s RateSchedule) MaxRate() float64 {
+	max := 0.0
+	for _, seg := range s.Segments {
+		max = math.Max(max, math.Max(seg.StartRate, seg.EndRate))
+	}
+	return max
+}
+
+// Rate returns the instantaneous arrival rate at t seconds from schedule
+// start (linear interpolation within a segment, 0 outside the span).
+func (s RateSchedule) Rate(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	for _, seg := range s.Segments {
+		if t < seg.DurationSeconds {
+			return seg.StartRate + (seg.EndRate-seg.StartRate)*(t/seg.DurationSeconds)
+		}
+		t -= seg.DurationSeconds
+	}
+	return 0
+}
+
+// SegmentAt returns the index of the segment containing t, clamped to
+// the last segment for t at or beyond the schedule's end.
+func (s RateSchedule) SegmentAt(t float64) int {
+	for i, seg := range s.Segments {
+		if t < seg.DurationSeconds {
+			return i
+		}
+		t -= seg.DurationSeconds
+	}
+	return len(s.Segments) - 1
+}
+
+// ExpectedRequests returns the schedule's expected arrival count — the
+// integral of the rate over the span (each segment a trapezoid).
+func (s RateSchedule) ExpectedRequests() float64 {
+	total := 0.0
+	for _, seg := range s.Segments {
+		total += (seg.StartRate + seg.EndRate) / 2 * seg.DurationSeconds
+	}
+	return total
+}
+
+// ScaledTo returns a copy of the schedule stretched (or compressed) so
+// its total span equals total seconds, preserving the rate shape. A
+// non-positive total returns the schedule unchanged.
+func (s RateSchedule) ScaledTo(total float64) RateSchedule {
+	if total <= 0 {
+		return s
+	}
+	factor := total / s.Duration()
+	out := RateSchedule{Segments: make([]RateSegment, len(s.Segments))}
+	for i, seg := range s.Segments {
+		seg.DurationSeconds *= factor
+		out.Segments[i] = seg
+	}
+	return out
+}
+
+// String renders the schedule back in ParseRateSchedule spec syntax.
+func (s RateSchedule) String() string {
+	var b strings.Builder
+	for i, seg := range s.Segments {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if seg.StartRate == seg.EndRate {
+			fmt.Fprintf(&b, "%g", seg.StartRate)
+		} else {
+			fmt.Fprintf(&b, "%g:%g", seg.StartRate, seg.EndRate)
+		}
+		fmt.Fprintf(&b, "@%s", time.Duration(seg.DurationSeconds*float64(time.Second)))
+	}
+	return b.String()
+}
+
+// ScheduledZipfTrace generates at most maxN arrivals following the
+// schedule — a non-homogeneous Poisson process via thinning at the peak
+// rate — with keys drawn Zipf(skew) over nKeys popularity ranks (skew <=
+// 0 cycles ranks round-robin). When churn is set, the rank→key mapping
+// is re-permuted at every segment boundary: the hottest rank points at a
+// different key in each regime, modeling key-popularity churn. With
+// churn off the mapping is the identity and keys match ZipfTrace's.
+func ScheduledZipfTrace(sched RateSchedule, maxN, nKeys int, skew float64, churn bool, r *stats.RNG) RequestTrace {
+	if maxN <= 0 || nKeys <= 0 || sched.Validate() != nil {
+		return nil
+	}
+	rmax := sched.MaxRate()
+	total := sched.Duration()
+	perm := make([]int, nKeys)
+	for i := range perm {
+		perm[i] = i
+	}
+	var z *stats.Zipf
+	if skew > 0 {
+		z = stats.NewZipf(nKeys, skew)
+	}
+	out := make(RequestTrace, 0, int(math.Min(float64(maxN), sched.ExpectedRequests()+16)))
+	segment := 0
+	next := 0 // round-robin cursor for skew <= 0
+	for t := 0.0; len(out) < maxN; {
+		t += r.ExpFloat64() / rmax
+		if t >= total {
+			break
+		}
+		// Churn: one fresh permutation per boundary crossed — a segment
+		// that saw no arrivals still churns the mapping exactly once.
+		for si := sched.SegmentAt(t); segment < si; segment++ {
+			if churn {
+				r.Shuffle(nKeys, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			}
+		}
+		if r.Float64()*rmax > sched.Rate(t) {
+			continue // thinning: reject down to the instantaneous rate
+		}
+		rank := next%nKeys + 1
+		if z != nil {
+			rank = z.Rank(r)
+		}
+		next++
+		out = append(out, Request{Arrival: t, Key: perm[rank-1] + 1})
+	}
+	return out
+}
