@@ -27,7 +27,7 @@ race:
 # the obs metric registries or event vocabulary, or a package loses its
 # godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestRoutingDocsCoverHedging|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race

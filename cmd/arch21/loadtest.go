@@ -36,6 +36,7 @@ func cmdLoadtest(args []string) {
 	rate := fs.Float64("rate", 0, "open-loop arrival rate req/s (default: scenario)")
 	httpAddr := fs.String("http", "", "load a live arch21d at this address instead of the in-process engine")
 	replicas := fs.Int("replicas", 0, "front N in-process engine replicas with a consistent-hash router and load that (0 = single engine)")
+	degrade := fs.Duration("degrade", 0, "with -replicas: inject this much service latency into replica 0 — the degraded-replica scenario's straggler the hedging scoreboard must route around (0 = all healthy)")
 	jsonOut := fs.String("json", "", "write the BENCH report JSON to this file")
 	appendOut := fs.Bool("append", false, "with -json: merge into an existing BENCH file (replacing a same-scenario report) instead of overwriting — how multi-scenario baselines are assembled")
 	class := fs.String("class", "", "force the class of the scenario's primary request stream: interactive or batch (default: the catalog's per-variant classes)")
@@ -85,6 +86,9 @@ func cmdLoadtest(args []string) {
 	if *httpAddr != "" && *replicas > 0 {
 		fatalf("-http and -replicas are mutually exclusive (a live daemon vs an in-process replica set)")
 	}
+	if *degrade > 0 && *replicas == 0 {
+		fatalf("-degrade needs -replicas: the straggler is one replica of an in-process cluster")
+	}
 	var tgt load.Target
 	switch {
 	case *httpAddr != "":
@@ -99,6 +103,15 @@ func cmdLoadtest(args []string) {
 			engines[i] = serve.NewEngine(serve.Config{Workers: *workers})
 			defer engines[i].Close()
 			backends[i] = router.NewEngineBackend(engines[i], fmt.Sprintf("engine[%d]", i))
+		}
+		if *degrade > 0 {
+			// One slow replica, injected through the same fault harness the
+			// chaos soak uses: it still answers correctly and passes health
+			// checks, so only the latency scoreboard (hedging, demotion) can
+			// route around it.
+			fb := router.NewFaultBackend(backends[0])
+			fb.Degrade(*degrade)
+			backends[0] = fb
 		}
 		rt, err := router.New(backends, router.Config{})
 		if err != nil {

@@ -40,6 +40,11 @@
 //	                           the front-end fans it out to every replica
 //	                           and reports per-replica acks
 //
+// Every endpoint is also served under the versioned /v1 prefix
+// (GET /v1/run/{id}, POST /v1/sweep, ...); the unversioned paths remain
+// as legacy aliases. Error responses on both surfaces are one JSON
+// envelope: {"error":{"code","message","retry_after_ms"}}.
+//
 // Example:
 //
 //	arch21d -lc-slo 50ms &
@@ -64,6 +69,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/qos"
 	"repro/internal/router"
 	"repro/internal/serve"
@@ -132,7 +138,7 @@ func main() {
 			rt.Events().SetSink(openEventsLog(*eventsLog))
 		}
 		mux.Handle("/", rt.Handler())
-		mux.Handle("POST /sweep", sweep.Handler(rt))
+		httpapi.Mount(mux, "POST /sweep", sweep.Handler(rt))
 		log.Printf("arch21d: routing front-end for %d replicas on %s (peers=%s)",
 			len(backends), *addr, *peers)
 	} else {
@@ -155,7 +161,7 @@ func main() {
 			engine.Events().SetSink(openEventsLog(*eventsLog))
 		}
 		mux.Handle("/", engine.Handler())
-		mux.Handle("POST /sweep", sweep.Handler(engine))
+		httpapi.Mount(mux, "POST /sweep", sweep.Handler(engine))
 		if *lcSLO > 0 {
 			// The §2.4 feedback loop, live: every second, read the
 			// interactive class's p99 over the *last window* (the

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/router"
@@ -155,6 +156,64 @@ func TestReplicaDocsCoverRouter(t *testing.T) {
 	} {
 		if !strings.Contains(sec, want) {
 			t.Errorf("README replica walkthrough no longer mentions %q", want)
+		}
+	}
+}
+
+// The routing docs cannot drift from the hedging implementation:
+// DESIGN.md §7 must document the latency scoreboard, the adaptive
+// budget, the hedge marker header, the floor constant, demotion with
+// canaries, the batch exactly-once carve-out, and the scoreboard metric
+// families (whose §9 table rows the registry check above already pins);
+// README's replica walkthrough must cover the /v1 surface, the error
+// envelope, and the degraded-replica drill. The §6 scenario-table check
+// in TestReplicaDocsCoverRouter pins the degraded-replica row itself
+// via load.Scenarios().
+func TestRoutingDocsCoverHedging(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s7 := strings.Index(doc, "## §7")
+	if s7 < 0 {
+		t.Fatal("DESIGN.md has no §7 (multi-replica serving)")
+	}
+	// Collapse whitespace so pinned phrases may wrap.
+	sec7 := strings.Join(strings.Fields(doc[s7:]), " ")
+	for _, want := range []string{
+		"scoreboard", "EWMA mean + 3σ", httpapi.HeaderHedge,
+		"router.DefaultHedgeFloor", "Demotion", "canary", "exactly-once",
+		"arch21_backend_latency_seconds", "arch21_backend_inflight",
+		"arch21_backend_hedges_total", "arch21_backend_hedge_wins_total",
+		"degraded-replica",
+	} {
+		if !strings.Contains(sec7, want) {
+			t.Errorf("DESIGN.md §7 no longer documents %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := string(readme)
+	start := strings.Index(rdoc, "## Running a replica set")
+	if start < 0 {
+		t.Fatal("README.md has no \"Running a replica set\" walkthrough")
+	}
+	end := strings.Index(rdoc[start:], "\n## Benchmarks")
+	if end < 0 {
+		t.Fatal("README.md replica walkthrough lost its section boundary")
+	}
+	sec := strings.Join(strings.Fields(rdoc[start:start+end]), " ")
+	for _, want := range []string{
+		"/v1/", `{"error":{"code","message","retry_after_ms"}}`,
+		httpapi.HeaderHedge, "degraded-replica", "-degrade",
+		"arch21_backend_latency_seconds", "arch21_backend_hedges_total",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Errorf("README replica walkthrough no longer documents %q", want)
 		}
 	}
 }

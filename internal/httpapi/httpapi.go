@@ -1,0 +1,131 @@
+// Package httpapi is the shared wire contract of the HTTP surface: the
+// X-Arch21-* QoS header parse/forward logic that the engine handlers,
+// the routing front-end, and the load generator's HTTP target previously
+// each reimplemented, the hedged-attempt marker, the versioned-route
+// mounting helper (/v1 plus legacy aliases), and the one JSON error
+// envelope every error path answers with. Keeping it in one package
+// means a header or error-shape change lands on every face of the API at
+// once instead of drifting across three copies.
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/admit"
+)
+
+// HeaderHedge marks a hedged backup attempt on the wire ("1"). A replica
+// serves it like any request — memoization makes the duplicate cheap —
+// but operators can pick hedge traffic out of access logs, and a future
+// hop can decline to re-hedge an already-hedged request.
+const HeaderHedge = "X-Arch21-Hedge"
+
+type hedgeKey struct{}
+
+// WithHedge tags a context as a hedged backup attempt.
+func WithHedge(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hedgeKey{}, true)
+}
+
+// IsHedge reports whether the context carries the hedge marker.
+func IsHedge(ctx context.Context) bool {
+	v, _ := ctx.Value(hedgeKey{}).(bool)
+	return v
+}
+
+// RequestContext derives a request's QoS context from its headers: the
+// class from X-Arch21-Class, the tenant identity from X-Arch21-Tenant
+// (free-form here; the engine's bounded books fold unknown tenants into
+// "other"), the hedge marker from X-Arch21-Hedge, and the remaining
+// deadline budget from X-Arch21-Deadline-MS, layered onto the request's
+// own cancellation. Shared by the engine's handlers and the routing
+// front-end so both faces of the API speak the same header contract. The
+// returned cancel must be called when the request finishes.
+func RequestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	class, err := admit.ParseClass(r.Header.Get(admit.HeaderClass))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := admit.WithClass(r.Context(), class)
+	tenant, err := admit.ParseTenant(r.Header.Get(admit.HeaderTenant))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx = admit.WithTenant(ctx, tenant)
+	if r.Header.Get(HeaderHedge) != "" {
+		ctx = WithHedge(ctx)
+	}
+	if h := r.Header.Get(admit.HeaderDeadlineMS); h != "" {
+		ms, err := strconv.ParseFloat(h, 64)
+		if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) || ms <= 0 {
+			return nil, nil, fmt.Errorf("httpapi: bad %s header %q (want a positive millisecond budget)",
+				admit.HeaderDeadlineMS, h)
+		}
+		ctx, cancel := context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+// Forward stamps the context's QoS envelope onto an outbound request:
+// the class in X-Arch21-Class, the tenant in X-Arch21-Tenant, the hedge
+// marker in X-Arch21-Hedge, and the remaining deadline — decremented by
+// hopBudget, the slice this hop keeps for transfer and decode — in
+// X-Arch21-Deadline-MS. When the budget cannot survive the hop it
+// returns an *admit.ShedError with Deadline set: a deadline shed decided
+// at the sender instead of burning the wire.
+func Forward(req *http.Request, ctx context.Context, hopBudget time.Duration) error {
+	req.Header.Set(admit.HeaderClass, admit.ClassFrom(ctx).String())
+	if tenant := admit.TenantFrom(ctx); tenant != "" {
+		req.Header.Set(admit.HeaderTenant, tenant)
+	}
+	if IsHedge(ctx) {
+		req.Header.Set(HeaderHedge, "1")
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl) - hopBudget
+		if remaining <= 0 {
+			return &admit.ShedError{
+				Class: admit.ClassFrom(ctx), Deadline: true, RetryAfter: hopBudget}
+		}
+		req.Header.Set(admit.HeaderDeadlineMS,
+			strconv.FormatFloat(math.Ceil(remaining.Seconds()*1e3), 'f', -1, 64))
+	}
+	return nil
+}
+
+// DrainClose consumes what remains of an HTTP response body (bounded)
+// and closes it. net/http only returns a connection to the keep-alive
+// pool when its body has been read to EOF — closing an undrained body
+// tears the connection down, so every exit path that skips part of a
+// response (error statuses, partial decodes) must drain through here or
+// the idle pool silently degrades to a dial per request.
+func DrainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	_ = body.Close()
+}
+
+// Mount registers a handler under both its legacy pattern and the /v1
+// alias ("GET /run/{id}" also serves as "GET /v1/run/{id}"). The
+// versioned paths are the documented surface; the unversioned ones stay
+// for clients that predate /v1.
+func Mount(mux *http.ServeMux, pattern string, h http.Handler) {
+	mux.Handle(pattern, h)
+	if method, path, ok := strings.Cut(pattern, " "); ok && strings.HasPrefix(path, "/") {
+		mux.Handle(method+" /v1"+path, h)
+		return
+	}
+	mux.Handle("/v1"+pattern, h)
+}
+
+// MountFunc is Mount for a plain handler func.
+func MountFunc(mux *http.ServeMux, pattern string, h func(http.ResponseWriter, *http.Request)) {
+	Mount(mux, pattern, http.HandlerFunc(h))
+}

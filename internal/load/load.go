@@ -265,6 +265,11 @@ func Scenarios() []Scenario {
 			Mode: ClosedLoop, Variants: scatter, Skew: 0, Clients: 8, Warm: true, Seed: 6,
 		},
 		{
+			Name: "degraded-replica",
+			Doc:  "the cluster-scatter grid against a cluster with one replica injected slow (arch21 loadtest -replicas N -degrade 50ms): the latency scoreboard must hedge around and demote the straggler so routed p99 stays near the all-healthy baseline instead of inheriting the slow replica's tail",
+			Mode: ClosedLoop, Variants: scatter, Skew: 0, Clients: 8, Warm: true, Seed: 11,
+		},
+		{
 			Name: "param-churn",
 			Doc:  "closed-loop cycling through a large parameter grid: first pass cold, later passes warm — memoization under churn",
 			Mode: ClosedLoop, Variants: churn, Skew: 0, Clients: 4, Seed: 5,

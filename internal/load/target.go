@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -162,9 +163,9 @@ type runOutcome struct {
 	Shared   bool `json:"shared"`
 }
 
-// Do issues one GET /run/{id}?param=... request — batch-class variants
-// carry the X-Arch21-Class header, tenant-tagged variants the
-// X-Arch21-Tenant header — and decodes the outcome.
+// Do issues one GET /run/{id}?param=... request — the variant's class
+// and tenant travel as X-Arch21-* headers via httpapi.Forward, the same
+// stamping path the routing front-end uses — and decodes the outcome.
 func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
 	q := url.Values{}
 	for _, a := range v.Params.Assignments() {
@@ -178,17 +179,18 @@ func (t *HTTPTarget) Do(v Variant) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, fmt.Errorf("load: %s: %v", v, err)
 	}
-	if v.Class != admit.Interactive {
-		req.Header.Set(admit.HeaderClass, v.Class.String())
-	}
+	ctx := admit.WithClass(context.Background(), v.Class)
 	if v.Tenant != "" {
-		req.Header.Set(admit.HeaderTenant, v.Tenant)
+		ctx = admit.WithTenant(ctx, v.Tenant)
+	}
+	if err := httpapi.Forward(req, ctx, 0); err != nil {
+		return Outcome{}, fmt.Errorf("load: %s: %v", v, err)
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return Outcome{}, err
 	}
-	defer resp.Body.Close()
+	defer httpapi.DrainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return Outcome{}, fmt.Errorf("load: %s: HTTP %d: %s", v, resp.StatusCode, strings.TrimSpace(string(body)))

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/httpapi"
 )
 
 // Event types the serving stack records. The docs-drift gate pins
@@ -172,14 +174,15 @@ type eventsPage struct {
 func (e *Events) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			httpapi.WriteError(w, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed, "method not allowed")
 			return
 		}
 		var since uint64
 		if s := req.URL.Query().Get("since"); s != "" {
 			v, err := strconv.ParseUint(s, 10, 64)
 			if err != nil {
-				http.Error(w, "bad since cursor (want an unsigned integer)", http.StatusBadRequest)
+				httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+					"bad since cursor (want an unsigned integer)")
 				return
 			}
 			since = v

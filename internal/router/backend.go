@@ -7,15 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"net/url"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/serve"
 )
 
@@ -127,6 +126,11 @@ func NewHTTPBackend(addr string) *HTTPBackend {
 			// abandoned goroutine's connection eventually.
 			Timeout: DefaultTimeout + time.Minute,
 			Transport: &http.Transport{
+				// One backend == one host, so the per-host cap is the real
+				// limit; size both to the router's worst-case fan-out (a
+				// hedge per in-flight request) so bursts never fall back to
+				// per-request dials. Reuse only works if every response body
+				// is drained — see httpapi.DrainClose.
 				MaxIdleConns:        256,
 				MaxIdleConnsPerHost: 256,
 				IdleConnTimeout:     90 * time.Second,
@@ -158,9 +162,10 @@ type runEnvelope struct {
 const hopBudget = 5 * time.Millisecond
 
 // Do implements Backend: GET /run/{id}?param=... against the replica.
-// The context's QoS envelope travels as headers: the class in
-// X-Arch21-Class and the remaining deadline — decremented by hopBudget —
-// in X-Arch21-Deadline-MS.
+// The context's QoS envelope travels as headers via httpapi.Forward:
+// class, tenant, hedge marker, and the remaining deadline decremented
+// by hopBudget — so the whole chain fits the caller's original budget
+// instead of each hop granting itself a fresh one.
 func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	t0 := time.Now()
 	q := url.Values{}
@@ -175,20 +180,10 @@ func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.R
 	if err != nil {
 		return serve.Response{}, fmt.Errorf("router: %s: %v", b.base, err)
 	}
-	req.Header.Set(admit.HeaderClass, admit.ClassFrom(ctx).String())
-	if tenant := admit.TenantFrom(ctx); tenant != "" {
-		req.Header.Set(admit.HeaderTenant, tenant)
-	}
-	if dl, ok := ctx.Deadline(); ok {
-		remaining := time.Until(dl) - hopBudget
-		if remaining <= 0 {
-			// The budget cannot survive the hop: this is a deadline shed,
-			// decided at the front-end instead of burning the wire.
-			return serve.Response{}, &admit.ShedError{
-				Class: admit.ClassFrom(ctx), Deadline: true, RetryAfter: hopBudget}
-		}
-		req.Header.Set(admit.HeaderDeadlineMS,
-			strconv.FormatFloat(math.Ceil(remaining.Seconds()*1e3), 'f', -1, 64))
+	if err := httpapi.Forward(req, ctx, hopBudget); err != nil {
+		// The budget cannot survive the hop: a deadline shed, decided at
+		// the front-end instead of burning the wire.
+		return serve.Response{}, err
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -197,7 +192,7 @@ func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.R
 		}
 		return serve.Response{}, fmt.Errorf("router: %s: %w", b.base, err)
 	}
-	defer resp.Body.Close()
+	defer httpapi.DrainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return serve.Response{}, fmt.Errorf("router: %s /run/%s: %w", b.base, id,
@@ -234,7 +229,7 @@ func (b *HTTPBackend) Control(ctx context.Context, body []byte) ([]byte, error) 
 	if err != nil {
 		return nil, fmt.Errorf("router: %s: %w", b.base, err)
 	}
-	defer resp.Body.Close()
+	defer httpapi.DrainClose(resp.Body)
 	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("router: %s /control: %w", b.base,
@@ -254,8 +249,7 @@ func (b *HTTPBackend) Check() error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	defer httpapi.DrainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("router: %s healthz: HTTP %d", b.base, resp.StatusCode)
 	}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/serve"
@@ -30,13 +31,18 @@ var ErrInjectedFault = errors.New("injected fault")
 //   - ErrorBurst(n) — the next n calls fail fast: a transient fault
 //     that exercises failover without tripping ejection thresholds
 //     when n is small.
+//   - Degrade(d) — a slow replica: every Do sleeps d before delegating,
+//     but still answers correctly and passes health checks. The failure
+//     mode ejection cannot fix and only latency-aware routing (hedging,
+//     scoreboard demotion) mitigates.
 //
 // All methods are safe for concurrent use.
 type FaultBackend struct {
 	inner Backend
 
-	killed atomic.Bool
-	burst  atomic.Int64
+	killed  atomic.Bool
+	burst   atomic.Int64
+	degrade atomic.Int64 // added service latency, nanoseconds
 
 	mu   sync.Mutex
 	hung chan struct{} // non-nil while hanging; closed by Release
@@ -82,6 +88,11 @@ func (f *FaultBackend) Release() {
 // ErrorBurst makes the next n calls fail fast with ErrInjectedFault.
 func (f *FaultBackend) ErrorBurst(n int) { f.burst.Store(int64(n)) }
 
+// Degrade adds d of service latency to every subsequent Do (0 heals).
+// Unlike Hang, degraded calls still complete and health checks still
+// pass — the replica is slow, not dead.
+func (f *FaultBackend) Degrade(d time.Duration) { f.degrade.Store(int64(d)) }
+
 // Calls reports total Do attempts; Faults those that failed injected.
 func (f *FaultBackend) Calls() int64  { return f.calls.Load() }
 func (f *FaultBackend) Faults() int64 { return f.faults.Load() }
@@ -111,6 +122,19 @@ func (f *FaultBackend) Do(ctx context.Context, id string, p core.Params) (serve.
 	if f.burst.Load() > 0 && f.burst.Add(-1) >= 0 {
 		f.faults.Add(1)
 		return serve.Response{}, ErrInjectedFault
+	}
+	if d := time.Duration(f.degrade.Load()); d > 0 {
+		// A context-aware sleep: a degraded replica abandoned by a winning
+		// hedge (or an expired deadline) must return promptly, not hold
+		// the goroutine for the full injected latency.
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			f.faults.Add(1)
+			return serve.Response{}, ctx.Err()
+		}
 	}
 	return f.inner.Do(ctx, id, p)
 }

@@ -6,7 +6,9 @@ package router
 // per-backend health, /experiments and /healthz serve locally (the
 // registry is compiled in; the front-end's liveness is its own). POST
 // /sweep is mounted separately via sweep.Handler(router), which fans
-// grid points out through the same routing path.
+// grid points out through the same routing path. Every route is also
+// reachable under the versioned /v1 prefix (httpapi.Mount), and every
+// error is the shared httpapi JSON envelope.
 //
 // The routed /run envelope is JSON-only and carries headline + findings
 // but not the rendered report (a remote replica's envelope is not
@@ -20,6 +22,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/serve"
 )
 
@@ -40,47 +43,47 @@ type routedEnvelope struct {
 // Handler returns the routing front-end's HTTP API.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
-		serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	httpapi.MountFunc(mux, "GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		httpapi.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, req *http.Request) {
-		serve.WriteJSON(w, http.StatusOK, serve.ExperimentInfos())
+	httpapi.MountFunc(mux, "GET /experiments", func(w http.ResponseWriter, req *http.Request) {
+		httpapi.WriteJSON(w, http.StatusOK, serve.ExperimentInfos())
 	})
-	mux.HandleFunc("GET /run/{id}", func(w http.ResponseWriter, req *http.Request) {
+	httpapi.MountFunc(mux, "GET /run/{id}", func(w http.ResponseWriter, req *http.Request) {
 		if f := req.URL.Query().Get("format"); f != "" && f != "json" {
-			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{
-				"error": "the routing front-end serves JSON envelopes only; request format=" + f + " from a replica directly"})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"the routing front-end serves JSON envelopes only; request format="+f+" from a replica directly")
 			return
 		}
 		id := req.PathValue("id")
 		params, err := core.ParseParams(req.URL.Query()["param"])
 		if err != nil {
-			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		// The front-end speaks the same QoS header contract as a replica
 		// (X-Arch21-Class, X-Arch21-Deadline-MS); HTTPBackend re-emits the
 		// envelope with the budget decremented per hop.
-		ctx, cancel, err := serve.RequestContext(req)
+		ctx, cancel, err := httpapi.RequestContext(req)
 		if err != nil {
-			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		defer cancel()
 		resp, err := r.ServeWith(ctx, id, params)
 		if err != nil {
-			if serve.WriteShedHeaders(w, err) {
+			if httpapi.WriteQoSError(w, err) {
 				return
 			}
-			status := http.StatusBadGateway
+			status, code := http.StatusBadGateway, httpapi.CodeUpstream
 			var se *statusError
 			switch {
 			case errors.Is(err, serve.ErrUnknownExperiment):
-				status = http.StatusNotFound
+				status, code = http.StatusNotFound, httpapi.CodeNotFound
 			case errors.Is(err, serve.ErrBadParams):
-				status = http.StatusBadRequest
+				status, code = http.StatusBadRequest, httpapi.CodeBadRequest
 			case errors.As(err, &se):
-				status = se.status
+				status, code = se.status, httpapi.CodeForStatus(se.status)
 				// A replica's shed carried a backoff hint; re-emit it so
 				// the client behind the front-end sees the same contract a
 				// replica speaks directly.
@@ -88,12 +91,12 @@ func (r *Router) Handler() http.Handler {
 					w.Header().Set("Retry-After", se.retryAfter)
 				}
 			case errors.Is(err, ErrNoBackends):
-				status = http.StatusServiceUnavailable
+				status, code = http.StatusServiceUnavailable, httpapi.CodeNoBackends
 			}
-			serve.WriteJSON(w, status, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, status, code, err.Error())
 			return
 		}
-		serve.WriteJSON(w, http.StatusOK, routedEnvelope{
+		httpapi.WriteJSON(w, http.StatusOK, routedEnvelope{
 			ID:        resp.ID,
 			Params:    resp.Params,
 			Key:       resp.Key,
@@ -105,23 +108,23 @@ func (r *Router) Handler() http.Handler {
 			Findings:  resp.Result.Findings,
 		})
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
-		serve.WriteJSON(w, http.StatusOK, r.Metrics())
+	httpapi.MountFunc(mux, "GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		httpapi.WriteJSON(w, http.StatusOK, r.Metrics())
 	})
-	mux.Handle("GET /metrics", r.MetricsRegistry().Handler())
-	mux.Handle("GET /events", r.Events().Handler())
-	mux.HandleFunc("POST /control", func(w http.ResponseWriter, req *http.Request) {
+	httpapi.Mount(mux, "GET /metrics", r.MetricsRegistry().Handler())
+	httpapi.Mount(mux, "GET /events", r.Events().Handler())
+	httpapi.MountFunc(mux, "POST /control", func(w http.ResponseWriter, req *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(req.Body, 1<<16))
 		if err != nil {
-			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		// Validate the body shape locally before burning the cluster's
 		// time: every replica parses the same contract.
 		var creq serve.ControlRequest
 		if err := json.Unmarshal(body, &creq); err != nil || creq.Empty() {
-			serve.WriteJSON(w, http.StatusBadRequest, map[string]string{
-				"error": "bad control body (want JSON with batch_rate, slo_ms, and/or policy)"})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"bad control body (want JSON with batch_rate, slo_ms, and/or policy)")
 			return
 		}
 		acks := r.Control(req.Context(), body)
@@ -134,7 +137,7 @@ func (r *Router) Handler() http.Handler {
 				break
 			}
 		}
-		serve.WriteJSON(w, status, map[string]interface{}{"replicas": acks})
+		httpapi.WriteJSON(w, status, map[string]interface{}{"replicas": acks})
 	})
 	return mux
 }

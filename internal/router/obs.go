@@ -121,6 +121,30 @@ func (r *Router) buildRegistry() *obs.Registry {
 		[]string{"backend"}, perBackend(func(st *backendState) float64 { return float64(st.failures) }))
 	reg.CounterVec("arch21_backend_ejections_total", "Times the replica has been ejected.",
 		[]string{"backend"}, perBackend(func(st *backendState) float64 { return float64(st.ejections) }))
+	perScore := func(get func(*score) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			out := make([]obs.Sample, 0, len(r.backends))
+			for i := range r.backends {
+				out = append(out, obs.Sample{Values: []string{r.backends[i].Name()}, Value: get(&r.sb.scores[i])})
+			}
+			return out
+		}
+	}
+	reg.GaugeVec("arch21_backend_latency_seconds", "Per-replica attempt latency scoreboard (EWMA).",
+		[]string{"backend"}, func() []obs.Sample {
+			out := make([]obs.Sample, 0, len(r.backends))
+			for i := range r.backends {
+				mean, _, _ := r.sb.snapshot(i)
+				out = append(out, obs.Sample{Values: []string{r.backends[i].Name()}, Value: mean})
+			}
+			return out
+		})
+	reg.GaugeVec("arch21_backend_inflight", "Attempts currently outstanding against the replica.",
+		[]string{"backend"}, perScore(func(sc *score) float64 { return float64(sc.inflight.Load()) }))
+	reg.CounterVec("arch21_backend_hedges_total", "Hedged backups fired because the replica's primary attempt exceeded its latency budget.",
+		[]string{"backend"}, perScore(func(sc *score) float64 { return float64(sc.hedges.Load()) }))
+	reg.CounterVec("arch21_backend_hedge_wins_total", "Hedged backups that answered before the replica's primary attempt.",
+		[]string{"backend"}, perScore(func(sc *score) float64 { return float64(sc.hedgeWins.Load()) }))
 	reg.Counter("arch21_events_total", "Control-plane events recorded (the ring retains the newest).",
 		func() float64 { return float64(r.events.Total()) })
 	return reg

@@ -27,6 +27,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -67,6 +68,13 @@ type Config struct {
 	// ProbeAfter is how long an ejected backend waits before the next
 	// request to it triggers a health probe for re-admission (default 1s).
 	ProbeAfter time.Duration
+	// HedgeFloor is the minimum hedge delay (default DefaultHedgeFloor,
+	// 1ms): the scoreboard's adaptive budget never drops below it, so
+	// warm microsecond traffic does not fire backups on scheduler noise.
+	HedgeFloor time.Duration
+	// DisableHedge turns hedged backup requests off entirely; the
+	// scoreboard still tracks latency and the failover chain still works.
+	DisableHedge bool
 	// now is the clock; replaceable in tests.
 	now func() time.Time
 }
@@ -83,6 +91,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.ProbeAfter <= 0 {
 		c.ProbeAfter = time.Second
+	}
+	if c.HedgeFloor <= 0 {
+		c.HedgeFloor = DefaultHedgeFloor
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -109,12 +120,23 @@ type Router struct {
 	ring     *cluster.ConsistentHash
 	state    []backendState
 
+	// sb is the per-replica latency scoreboard feeding hedge budgets and
+	// latency-aware chain preference.
+	sb *scoreboard
+
 	// Request-path counters are atomics: a tier-1 hit on an in-process
 	// backend is sub-microsecond, so a shared mutex here would serialize
 	// exactly the traffic the router exists to spread.
 	requests  atomic.Int64
 	failovers atomic.Int64
 	exhausted atomic.Int64
+	// hedges counts backup requests fired; hedgeWins those that answered
+	// first. Hedges are accounted here — separately from requests and
+	// failovers — so the engines' per-class conservation law still
+	// balances: a hedge is an extra backend attempt, not an extra client
+	// request.
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
 
 	// events records ejections, re-admissions, and control fan-outs.
 	events *obs.Events
@@ -137,6 +159,7 @@ func New(backends []Backend, cfg Config) (*Router, error) {
 		backends: backends,
 		ring:     cluster.NewConsistentHash(len(backends), cfg.VNodes),
 		state:    make([]backendState, len(backends)),
+		sb:       newScoreboard(len(backends), cfg.HedgeFloor, cfg.Timeout),
 		events:   obs.NewEvents(0),
 	}, nil
 }
@@ -168,14 +191,74 @@ func RouteKey(id string, p core.Params) string {
 // health) — what placement tests and rebalancing math inspect.
 func (r *Router) Owner(key string) int { return r.ring.Place(cluster.HashString(key)) }
 
-// ServeWith routes one request to the replica owning its cache key,
-// failing over along the ring on error, ejection, or timeout. The
-// context's QoS envelope (class, deadline, cancellation) rides along to
-// the backend — over HTTP it travels as the X-Arch21-Class and
-// budget-decremented X-Arch21-Deadline-MS headers. A shed answered by a
-// replica (429) is a client-visible QoS verdict, not a replica failure:
-// no ejection, no failover. ServeWith satisfies sweep.Server, so sweeps
-// fan out through the router unchanged.
+// verdict classifies one attempt's outcome; it encodes the router's
+// whole error taxonomy in one place so the plain failover path and the
+// hedged race apply identical semantics.
+type verdict int
+
+const (
+	// verdictOK: success — return the response, reset health accounting.
+	verdictOK verdict = iota
+	// verdictCtx: the caller is gone or out of budget — return without
+	// accounting; failing over would re-spend a dead request's work.
+	verdictCtx
+	// verdictReturn: a client error or deadline shed — the caller's
+	// fault, identical on every replica, so no failover and no ejection
+	// (the replica answered deliberately: that is a success for health
+	// accounting).
+	verdictReturn
+	// verdictFailover: a queue-full shed (in-process ShedError, or a
+	// replica's 503) is genuine pressure, so it does fail over — a
+	// sibling's queue may have room — but it is a *deliberate QoS verdict
+	// from a live replica*, not a fault: counting it toward ejection
+	// would turn sustained overload into a cascade (shedding replicas
+	// ejected, their keys dumped on the siblings, which then shed and get
+	// ejected too, until nothing serves). Health accounting stays
+	// untouched either way: not a failure, and not a success that would
+	// mask a flapping replica's real errors.
+	verdictFailover
+	// verdictFailure: a real replica failure — fail over and count it
+	// toward ejection.
+	verdictFailure
+)
+
+func classify(err error) verdict {
+	switch {
+	case err == nil:
+		return verdictOK
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return verdictCtx
+	}
+	var shed *admit.ShedError
+	if errors.As(err, &shed) && shed.Deadline {
+		return verdictReturn
+	}
+	if errors.Is(err, serve.ErrUnknownExperiment) || errors.Is(err, serve.ErrBadParams) || isHTTPClientError(err) {
+		return verdictReturn
+	}
+	if errors.Is(err, admit.ErrShed) || isHTTPStatus(err, 503) {
+		return verdictFailover
+	}
+	return verdictFailure
+}
+
+// ServeWith routes one request to the replica owning its cache key —
+// or, when the scoreboard shows the owner consistently slower than its
+// first successor, successor-first along the same chain — failing over
+// along the ring on error, ejection, or timeout. The first attempt of
+// an interactive request is hedge-protected: if it outlives the
+// scoreboard's adaptive budget, a backup fires to the next distinct
+// replica, first response wins, and the loser is canceled through its
+// context. Batch requests never hedge — a hedge buys tail latency with
+// duplicate work, and a backup racing a cold sweep point on a sibling
+// would execute it twice, breaking the sweep path's exactly-once
+// property. The context's QoS envelope
+// (class, deadline, cancellation) rides along to the backend — over HTTP
+// it travels as the X-Arch21-Class and budget-decremented
+// X-Arch21-Deadline-MS headers, with backups marked X-Arch21-Hedge. A
+// shed answered by a replica (429) is a client-visible QoS verdict, not
+// a replica failure: no ejection, no failover. ServeWith satisfies
+// sweep.Server, so sweeps fan out through the router unchanged.
 func (r *Router) ServeWith(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -184,56 +267,64 @@ func (r *Router) ServeWith(ctx context.Context, id string, p core.Params) (serve
 
 	key := RouteKey(id, p)
 	chain := r.ring.PlaceK(cluster.HashString(key), 1+r.cfg.Retries)
+	r.sb.prefer(chain)
 	var lastErr error
-	for attempt, b := range chain {
+	var tried []int // backends already consumed, by the loop or a hedge
+	attempted := func(b int) bool {
+		for _, t := range tried {
+			if t == b {
+				return true
+			}
+		}
+		return false
+	}
+	for i, b := range chain {
+		if attempted(b) {
+			continue
+		}
 		if err := ctx.Err(); err != nil {
-			// The caller is gone or out of budget: failing over would
-			// re-spend a dead request's work on a healthy replica.
 			return serve.Response{}, err
 		}
 		if !r.admit(b) {
 			continue
 		}
-		if attempt > 0 {
+		if len(tried) > 0 {
 			r.failovers.Add(1)
 		}
-		resp, err := r.do(ctx, b, id, p)
-		if err == nil {
-			r.noteSuccess(b)
+		tried = append(tried, b)
+
+		var (
+			resp   serve.Response
+			err    error
+			winner = b
+		)
+		if len(tried) == 1 {
+			// Only the first admitted attempt hedges: one backup per
+			// request bounds the work amplification at 2x.
+			var hedgedOn int
+			resp, err, winner, hedgedOn = r.doHedged(ctx, b, chain[i+1:], id, p)
+			if hedgedOn >= 0 {
+				tried = append(tried, hedgedOn)
+			}
+		} else {
+			resp, err = r.do(ctx, b, id, p)
+		}
+
+		switch classify(err) {
+		case verdictOK:
+			r.noteSuccess(winner)
 			return resp, nil
-		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		case verdictCtx:
 			return serve.Response{}, err
-		}
-		// Client errors are the caller's fault, not the replica's: do not
-		// eject, do not fail over (every replica shares the registry and
-		// would reject identically). A deadline shed (429, or an
-		// in-process ShedError with Deadline set) is in the same family:
-		// the budget is no better on a successor.
-		var shed *admit.ShedError
-		if errors.As(err, &shed) && shed.Deadline {
-			r.noteSuccess(b)
+		case verdictReturn:
+			r.noteSuccess(winner)
 			return serve.Response{}, err
-		}
-		if errors.Is(err, serve.ErrUnknownExperiment) || errors.Is(err, serve.ErrBadParams) || isHTTPClientError(err) {
-			r.noteSuccess(b)
-			return serve.Response{}, err
-		}
-		// A queue-full shed (in-process ShedError, or a replica's 503) is
-		// genuine pressure, so it does fail over — a sibling's queue may
-		// have room — but it is a *deliberate QoS verdict from a live
-		// replica*, not a fault: counting it toward ejection would turn
-		// sustained overload into a cascade (shedding replicas ejected,
-		// their keys dumped on the siblings, which then shed and get
-		// ejected too, until nothing serves). Health accounting stays
-		// untouched either way: not a failure, and not a success that
-		// would mask a flapping replica's real errors.
-		if errors.Is(err, admit.ErrShed) || isHTTPStatus(err, 503) {
+		case verdictFailover:
 			lastErr = err
-			continue
+		case verdictFailure:
+			r.noteFailure(winner)
+			lastErr = err
 		}
-		r.noteFailure(b)
-		lastErr = err
 	}
 	r.exhausted.Add(1)
 	if lastErr == nil {
@@ -247,22 +338,56 @@ func (r *Router) Serve(id string) (serve.Response, error) {
 	return r.ServeWith(context.Background(), id, nil)
 }
 
-// do runs one attempt under the per-attempt timeout. A backend that
-// neither answers nor errors within the window is treated as failed;
-// the abandoned goroutine drains whenever the backend wakes up. The
-// goroutine-per-attempt is the price of hang protection for synchronous
-// backends; the timer is stopped eagerly so a fast hit does not leave a
-// multi-minute timer live until GC.
-func (r *Router) do(ctx context.Context, b int, id string, p core.Params) (serve.Response, error) {
-	type outcome struct {
-		resp serve.Response
-		err  error
+type outcome struct {
+	resp serve.Response
+	err  error
+}
+
+// launch starts one tracked attempt: in-flight accounting around the
+// call, the latency observed into the scoreboard on success — and on
+// abandonment (the returned cancel, used when a hedge wins or the
+// attempt timer expires): the elapsed time is a lower bound on the true
+// latency, folded in only when it raises the estimate (see
+// scoreboard.observeFloor), and without it a replica whose every
+// attempt is cut short by a winning backup would keep a stale fast
+// score forever. Organic failures feed health accounting instead; their
+// wall time says nothing about serving latency.
+func (r *Router) launch(ctx context.Context, b int, id string, p core.Params, hedge bool) (<-chan outcome, context.CancelFunc) {
+	actx, cancel := context.WithCancel(ctx)
+	if hedge {
+		actx = httpapi.WithHedge(actx)
 	}
 	ch := make(chan outcome, 1)
+	sc := &r.sb.scores[b]
+	sc.inflight.Add(1)
 	go func() {
-		resp, err := r.backends[b].Do(ctx, id, p)
+		t0 := time.Now()
+		resp, err := r.backends[b].Do(actx, id, p)
+		elapsed := time.Since(t0)
+		sc.inflight.Add(-1)
+		if err == nil {
+			r.sb.observe(b, elapsed)
+		} else if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// Abandoned by us (hedge win or attempt timer), not by the
+			// caller: the elapsed time is a lower bound on the true
+			// latency, folded in only when it raises the estimate.
+			r.sb.observeFloor(b, elapsed)
+		}
 		ch <- outcome{resp, err}
 	}()
+	return ch, cancel
+}
+
+// do runs one attempt under the per-attempt timeout. A backend that
+// neither answers nor errors within the window is treated as failed and
+// the attempt is canceled through its context — the PR 5 plumbing makes
+// the abandoned call unwind at its next iteration boundary instead of
+// draining in the background. The goroutine-per-attempt is the price of
+// hang protection for synchronous backends; the timer is stopped eagerly
+// so a fast hit does not leave a multi-minute timer live until GC.
+func (r *Router) do(ctx context.Context, b int, id string, p core.Params) (serve.Response, error) {
+	ch, cancel := r.launch(ctx, b, id, p, false)
+	defer cancel()
 	timer := time.NewTimer(r.cfg.Timeout)
 	defer timer.Stop()
 	select {
@@ -272,6 +397,151 @@ func (r *Router) do(ctx context.Context, b int, id string, p core.Params) (serve
 		return serve.Response{}, ctx.Err()
 	case <-timer.C:
 		return serve.Response{}, fmt.Errorf("%w after %v on %s", errAttemptTimeout, r.cfg.Timeout, r.backends[b].Name())
+	}
+}
+
+// doHedged runs the hedge-protected first attempt: the primary launches
+// immediately; if it outlives the scoreboard's adaptive budget, one
+// backup fires to the next distinct untried replica in rest, and the
+// first usable answer (success, or a client/deadline verdict — identical
+// on every replica) wins while the loser is canceled through its
+// context. A primary that *fails* before the budget expires returns
+// without hedging — failures belong to the failover path, hedging is for
+// slowness — and 4xx verdicts are never hedged: by the time one could
+// fire, the request's fate is already decided on every replica.
+//
+// Returns the deciding outcome, the backend it came from (so the caller
+// applies health accounting to the decider), and the backup's index when
+// one was launched (-1 otherwise; the caller marks it consumed). When
+// both attempts fail, the loser's health accounting is applied here and
+// the later outcome is returned for the caller's taxonomy.
+func (r *Router) doHedged(ctx context.Context, b int, rest []int, id string, p core.Params) (serve.Response, error, int, int) {
+	// Only interactive traffic hedges. A hedge buys tail latency with
+	// duplicate work, which batch traffic by definition does not want —
+	// and a backup racing a cold run on a sibling would execute the same
+	// grid point twice, breaking the sweep path's exactly-once-
+	// cluster-wide property. Batch still gets the failover chain and
+	// scoreboard demotion.
+	hb, delay := -1, time.Duration(0)
+	if !r.cfg.DisableHedge && admit.ClassFrom(ctx) == admit.Interactive {
+		for _, c := range rest {
+			if c != b {
+				if d, ok := r.sb.hedgeDelay(b, c); ok {
+					hb, delay = c, d
+				}
+				break
+			}
+		}
+	}
+
+	pch, pcancel := r.launch(ctx, b, id, p, false)
+	defer pcancel()
+	if hb < 0 {
+		// No candidate or no trusted budget: plain bounded attempt.
+		timer := time.NewTimer(r.cfg.Timeout)
+		defer timer.Stop()
+		select {
+		case out := <-pch:
+			return out.resp, out.err, b, -1
+		case <-ctx.Done():
+			return serve.Response{}, ctx.Err(), b, -1
+		case <-timer.C:
+			return serve.Response{}, fmt.Errorf("%w after %v on %s", errAttemptTimeout, r.cfg.Timeout, r.backends[b].Name()), b, -1
+		}
+	}
+
+	overall := time.NewTimer(r.cfg.Timeout)
+	defer overall.Stop()
+	hedgeTimer := time.NewTimer(delay)
+	defer hedgeTimer.Stop()
+
+	var (
+		hch      <-chan outcome
+		hcancel  context.CancelFunc
+		hedged   = -1   // backup index once launched
+		pFailed  bool   // primary failed while the backup was still pending (accounted here)
+		inFlight = true // primary still pending
+	)
+	defer func() {
+		if hcancel != nil {
+			hcancel()
+		}
+	}()
+	for {
+		select {
+		case out := <-pch:
+			pch = nil
+			inFlight = false
+			switch v := classify(out.err); v {
+			case verdictOK, verdictCtx, verdictReturn:
+				// First usable answer wins; the deferred cancel abandons a
+				// straggling backup.
+				return out.resp, out.err, b, hedged
+			default:
+				if hch == nil {
+					// Failed with no backup pending (either none fired, or
+					// the backup already failed and was accounted): the
+					// caller's taxonomy owns this outcome.
+					return out.resp, out.err, b, hedged
+				}
+				// The backup is in flight and now decides the request; the
+				// primary's failure is accounted here so it still counts
+				// toward ejection.
+				if v == verdictFailure {
+					r.noteFailure(b)
+				}
+				pFailed = true
+			}
+		case out := <-hch:
+			hch = nil
+			switch v := classify(out.err); v {
+			case verdictOK, verdictReturn:
+				r.hedgeWins.Add(1)
+				r.sb.scores[b].hedgeWins.Add(1)
+				return out.resp, out.err, hb, hedged
+			case verdictCtx:
+				// The backup observed the caller's cancellation; nothing
+				// to account and nothing left to win.
+				return out.resp, out.err, hb, hedged
+			default:
+				if pFailed {
+					// Both legs failed; the backup's outcome is the later
+					// word — hand it to the caller's taxonomy.
+					return out.resp, out.err, hb, hedged
+				}
+				// The backup failed first; the primary still owns the
+				// request, so account the backup here and keep waiting.
+				if v == verdictFailure {
+					r.noteFailure(hb)
+				}
+			}
+		case <-hedgeTimer.C:
+			if hch != nil || hedged >= 0 || !inFlight {
+				continue
+			}
+			if !r.admit(hb) {
+				// The backup target is ejected and not probeable: the
+				// primary stays on its own, still bounded by the overall
+				// timer.
+				continue
+			}
+			r.hedges.Add(1)
+			r.sb.scores[b].hedges.Add(1)
+			hedged = hb
+			hch, hcancel = r.launch(ctx, hb, id, p, true)
+		case <-ctx.Done():
+			return serve.Response{}, ctx.Err(), b, hedged
+		case <-overall.C:
+			// Attribute the timeout to whichever leg is still pending: the
+			// primary normally, the backup when the primary already failed
+			// and was accounted above (charging b twice for one request
+			// would double-count toward ejection).
+			from := b
+			if pFailed {
+				from = hb
+			}
+			return serve.Response{}, fmt.Errorf("%w after %v on %s", errAttemptTimeout, r.cfg.Timeout, r.backends[from].Name()), from, hedged
+		}
 	}
 }
 
@@ -337,13 +607,21 @@ func (r *Router) noteFailure(b int) {
 	}
 }
 
-// BackendStatus is one backend's health row in Metrics.
+// BackendStatus is one backend's health and scoreboard row in Metrics.
 type BackendStatus struct {
 	Name      string `json:"name"`
 	Ejected   bool   `json:"ejected"`
 	Requests  int64  `json:"requests"`
 	Failures  int64  `json:"failures"`
 	Ejections int64  `json:"ejections"`
+	// LatencyEWMAMS is the scoreboard's latency estimate; Inflight the
+	// attempts currently outstanding against the replica.
+	LatencyEWMAMS float64 `json:"latency_ewma_ms"`
+	Inflight      int64   `json:"inflight"`
+	// Hedges counts backups fired because this replica's primary attempt
+	// ran long; HedgeWins those backups that answered first.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
 }
 
 // Metrics is a point-in-time router snapshot.
@@ -356,6 +634,12 @@ type Metrics struct {
 	Requests  int64 `json:"requests"`
 	Failovers int64 `json:"failovers"`
 	Exhausted int64 `json:"exhausted"`
+	// Hedges counts backup requests fired; HedgeWins those whose answer
+	// beat the primary attempt. Accounted separately from Requests and
+	// Failovers: a hedge is an extra backend attempt, not an extra
+	// client request, so the engines' conservation law still balances.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
 	// Health is per-backend status, in backend order.
 	Health []BackendStatus `json:"health"`
 }
@@ -368,18 +652,27 @@ func (r *Router) Metrics() Metrics {
 		Requests:  r.requests.Load(),
 		Failovers: r.failovers.Load(),
 		Exhausted: r.exhausted.Load(),
+		Hedges:    r.hedges.Load(),
+		HedgeWins: r.hedgeWins.Load(),
 	}
 	for i := range r.backends {
 		st := &r.state[i]
 		st.mu.Lock()
-		m.Health = append(m.Health, BackendStatus{
+		row := BackendStatus{
 			Name:      r.backends[i].Name(),
 			Ejected:   st.ejected,
 			Requests:  st.requests,
 			Failures:  st.failures,
 			Ejections: st.ejections,
-		})
+		}
 		st.mu.Unlock()
+		mean, _, _ := r.sb.snapshot(i)
+		sc := &r.sb.scores[i]
+		row.LatencyEWMAMS = mean * 1e3
+		row.Inflight = sc.inflight.Load()
+		row.Hedges = sc.hedges.Load()
+		row.HedgeWins = sc.hedgeWins.Load()
+		m.Health = append(m.Health, row)
 	}
 	return m
 }

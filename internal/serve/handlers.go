@@ -2,30 +2,29 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
-	"math"
 	"net/http"
-	"strconv"
-	"time"
 
-	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 )
 
-// HTTP API:
+// HTTP API (every route is also served under the /v1/ prefix — the
+// documented, versioned surface; the bare paths stay as legacy aliases):
 //
-//	GET /healthz              liveness probe
-//	GET /experiments          registered experiments: claims + param schemas
-//	GET /run/{id}             serve one experiment (JSON envelope)
-//	GET /run/{id}?param=n=v   override declared parameters (repeatable)
-//	GET /run/{id}?format=text rendered ASCII report
-//	GET /run/{id}?format=csv  table/figure as CSV
-//	GET /stats                engine metrics: counters, cache, per-class p50/p99
-//	GET /metrics              Prometheus text exposition (promlint-clean)
-//	GET /events?since=N       structured control-plane events after cursor N
-//	POST /control             live retune: {"batch_rate":..,"slo_ms":..,"policy":".."}
+//	GET /v1/healthz              liveness probe
+//	GET /v1/experiments          registered experiments: claims + param schemas
+//	GET /v1/run/{id}             serve one experiment (JSON envelope)
+//	GET /v1/run/{id}?param=n=v   override declared parameters (repeatable)
+//	GET /v1/run/{id}?format=text rendered ASCII report
+//	GET /v1/run/{id}?format=csv  table/figure as CSV
+//	GET /v1/stats                engine metrics: counters, cache, per-class p50/p99
+//	GET /v1/metrics              Prometheus text exposition (promlint-clean)
+//	GET /v1/events?since=N       structured control-plane events after cursor N
+//	POST /v1/control             live retune: {"batch_rate":..,"slo_ms":..,"policy":".."}
+//
+// Every error path answers with the shared JSON envelope
+// {"error":{"code","message","retry_after_ms"}} (internal/httpapi).
 //
 // Every response is served through the engine, so hits, dedup, sheds, and
 // latency percentiles in /stats reflect real traffic. The sweep package
@@ -107,87 +106,45 @@ type runEnvelope struct {
 	Report    string      `json:"report"`
 }
 
-// RequestContext derives a request's QoS context from its headers: the
-// class from X-Arch21-Class, the tenant identity from X-Arch21-Tenant
-// (free-form here; the engine's bounded books fold unknown tenants into
-// "other"), and the remaining deadline budget from X-Arch21-Deadline-MS,
-// layered onto the request's own cancellation.
-// Shared by the engine's handlers and the routing front-end so both
-// faces of the API speak the same header contract. The returned cancel
-// must be called when the request finishes.
+// RequestContext derives a request's QoS context from its headers —
+// kept as a package-level name for the engine's callers, with the shared
+// implementation (one header contract for every face of the API) in
+// internal/httpapi. The returned cancel must be called when the request
+// finishes.
 func RequestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
-	class, err := admit.ParseClass(r.Header.Get(admit.HeaderClass))
-	if err != nil {
-		return nil, nil, err
-	}
-	ctx := admit.WithClass(r.Context(), class)
-	tenant, err := admit.ParseTenant(r.Header.Get(admit.HeaderTenant))
-	if err != nil {
-		return nil, nil, err
-	}
-	ctx = admit.WithTenant(ctx, tenant)
-	if h := r.Header.Get(admit.HeaderDeadlineMS); h != "" {
-		ms, err := strconv.ParseFloat(h, 64)
-		if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) || ms <= 0 {
-			return nil, nil, fmt.Errorf("serve: bad %s header %q (want a positive millisecond budget)",
-				admit.HeaderDeadlineMS, h)
-		}
-		ctx, cancel := context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
-		return ctx, cancel, nil
-	}
-	return ctx, func() {}, nil
+	return httpapi.RequestContext(r)
 }
 
 // WriteShedHeaders maps an admission error onto the HTTP response: 503
-// for a full queue, 429 for a deadline the projected wait cannot meet —
-// both with a Retry-After hint (whole seconds, minimum 1) — and 504 for
-// a request whose own deadline expired in flight. It reports whether err
-// was a QoS outcome it handled.
+// queue_full for a full queue, 429 deadline_unmeetable for a deadline
+// the projected wait cannot meet — both with a Retry-After hint (whole
+// seconds, minimum 1) — and 504 deadline_exceeded for a request whose
+// own deadline expired in flight, all in the shared envelope. It reports
+// whether err was a QoS outcome it handled.
 func WriteShedHeaders(w http.ResponseWriter, err error) bool {
-	var shed *admit.ShedError
-	switch {
-	case errors.As(err, &shed):
-		secs := int(math.Ceil(shed.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		status := http.StatusServiceUnavailable
-		if shed.Deadline {
-			status = http.StatusTooManyRequests
-		}
-		WriteJSON(w, status, map[string]string{"error": err.Error()})
-		return true
-	case errors.Is(err, context.DeadlineExceeded):
-		WriteJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
-		return true
-	case errors.Is(err, context.Canceled):
-		// The client is gone; the status is a formality.
-		WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
-		return true
-	}
-	return false
+	return httpapi.WriteQoSError(w, err)
 }
 
-// Handler returns the engine's HTTP API.
+// Handler returns the engine's HTTP API, every route mounted under /v1
+// with the unversioned path kept as a legacy alias.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	httpapi.MountFunc(mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+	httpapi.MountFunc(mux, "GET /experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ExperimentInfos())
 	})
-	mux.HandleFunc("GET /run/{id}", func(w http.ResponseWriter, r *http.Request) {
+	httpapi.MountFunc(mux, "GET /run/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		params, err := core.ParseParams(r.URL.Query()["param"])
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		ctx, cancel, err := RequestContext(r)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		defer cancel()
@@ -196,14 +153,14 @@ func (e *Engine) Handler() http.Handler {
 			if WriteShedHeaders(w, err) {
 				return
 			}
-			status := http.StatusInternalServerError
+			status, code := http.StatusInternalServerError, httpapi.CodeInternal
 			switch {
 			case errors.Is(err, ErrUnknownExperiment):
-				status = http.StatusNotFound
+				status, code = http.StatusNotFound, httpapi.CodeNotFound
 			case errors.Is(err, ErrBadParams):
-				status = http.StatusBadRequest
+				status, code = http.StatusBadRequest, httpapi.CodeBadRequest
 			}
-			writeJSON(w, status, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, status, code, err.Error())
 			return
 		}
 		switch r.URL.Query().Get("format") {
@@ -232,30 +189,26 @@ func (e *Engine) Handler() http.Handler {
 				_, _ = w.Write([]byte(resp.Result.Figure.CSV()))
 			}
 		default:
-			writeJSON(w, http.StatusBadRequest,
-				map[string]string{"error": "format must be json, text, or csv"})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"format must be json, text, or csv")
 		}
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	httpapi.MountFunc(mux, "GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		// Memoized (StatsTTL): a dashboard poller must not pay — or make
 		// the serving path pay — a full reservoir walk per request.
 		writeJSON(w, http.StatusOK, e.MetricsCached())
 	})
-	mux.Handle("GET /metrics", e.MetricsRegistry().Handler())
-	mux.Handle("GET /events", e.Events().Handler())
-	mux.Handle("POST /control", e.ControlHandler())
+	httpapi.Mount(mux, "GET /metrics", e.MetricsRegistry().Handler())
+	httpapi.Mount(mux, "GET /events", e.Events().Handler())
+	httpapi.Mount(mux, "POST /control", e.ControlHandler())
 	return mux
 }
 
-// WriteJSON writes v as an indented JSON response — shared by the
-// engine's handlers and the routing front-end so both faces of the API
-// encode identically.
+// WriteJSON writes v as an indented JSON response — kept as a
+// package-level name for the engine's callers; the shared encoder both
+// faces of the API use lives in internal/httpapi.
 func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	httpapi.WriteJSON(w, status, v)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) { WriteJSON(w, status, v) }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/httpapi"
 	"repro/internal/obs"
 )
 
@@ -267,19 +268,19 @@ func (e *Engine) ApplyControl(req ControlRequest) (ControlAck, error) {
 func (e *Engine) ControlHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			httpapi.WriteError(w, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed, "method not allowed")
 			return
 		}
 		var req ControlRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "bad control body: " + err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "bad control body: "+err.Error())
 			return
 		}
 		ack, err := e.ApplyControl(req)
 		if err != nil {
-			WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		WriteJSON(w, http.StatusOK, ack)

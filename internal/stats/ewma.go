@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// EWMA tracks an exponentially weighted moving mean and variance of a
+// stream of observations — the estimator behind the router's per-replica
+// latency scoreboard, where a fixed-window mean would either forget a
+// regime change too fast (small window) or notice it too late (large
+// window). The variance rides along so callers can derive an adaptive
+// percentile-style budget (mean + k·σ) instead of hard-coding one.
+//
+// EWMA is not synchronized; the caller provides locking (the router
+// guards each replica's scoreboard with its own mutex, matching the
+// per-backend health accounting).
+type EWMA struct {
+	alpha float64
+	n     int64
+	mean  float64
+	varr  float64
+}
+
+// DefaultEWMAAlpha is the decay used when NewEWMA is given a
+// non-positive alpha: each new sample carries 20% of the estimate, so a
+// regime change dominates after roughly a dozen observations — fast
+// enough to notice a replica going sideways, slow enough that one GC
+// pause does not reroute traffic.
+const DefaultEWMAAlpha = 0.2
+
+// NewEWMA returns an estimator with the given decay in (0, 1]; a
+// non-positive or >1 alpha falls back to DefaultEWMAAlpha.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in. The first sample seeds the mean directly
+// (warm-up): decaying from zero would report a fraction of the true
+// level for the first several observations and make every budget derived
+// from it spuriously tight.
+func (e *EWMA) Observe(v float64) {
+	e.n++
+	if e.n == 1 {
+		e.mean = v
+		return
+	}
+	d := v - e.mean
+	incr := e.alpha * d
+	e.mean += incr
+	// West's recurrence for the exponentially weighted variance: the
+	// correction uses the pre-update deviation so the estimate is
+	// unbiased under a stationary stream.
+	e.varr = (1 - e.alpha) * (e.varr + d*incr)
+}
+
+// N reports how many samples have been observed — callers gate warm-up
+// on it before trusting Mean or Std.
+func (e *EWMA) N() int64 { return e.n }
+
+// Mean returns the current weighted mean (0 before any observation).
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// Std returns the current weighted standard deviation (0 until at least
+// two observations).
+func (e *EWMA) Std() float64 { return math.Sqrt(e.varr) }

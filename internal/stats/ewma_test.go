@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Warm-up: the first observation seeds the mean exactly instead of
+// decaying up from zero — the router's hedge budgets read Mean as soon
+// as the sample gate opens, so a cold-start bias would turn into
+// spurious hedges.
+func TestEWMAWarmupSeedsMean(t *testing.T) {
+	e := NewEWMA(0.2)
+	if e.N() != 0 || e.Mean() != 0 || e.Std() != 0 {
+		t.Fatalf("zero-value estimator should report zeros, got n=%d mean=%v std=%v", e.N(), e.Mean(), e.Std())
+	}
+	e.Observe(42)
+	if e.N() != 1 {
+		t.Fatalf("N after one observation = %d, want 1", e.N())
+	}
+	if e.Mean() != 42 {
+		t.Fatalf("first observation must seed the mean: got %v, want 42", e.Mean())
+	}
+	if e.Std() != 0 {
+		t.Fatalf("one sample has no spread: std = %v, want 0", e.Std())
+	}
+}
+
+// A stationary stream converges to its level with zero spread.
+func TestEWMAStationaryStream(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 100; i++ {
+		e.Observe(7)
+	}
+	if math.Abs(e.Mean()-7) > 1e-12 {
+		t.Fatalf("stationary mean = %v, want 7", e.Mean())
+	}
+	if e.Std() > 1e-9 {
+		t.Fatalf("stationary std = %v, want ~0", e.Std())
+	}
+}
+
+// Decay: after a step change the estimate must move most of the way to
+// the new level within ~2/alpha samples — the property the router's
+// demotion logic relies on to notice a replica that went slow.
+func TestEWMADecayTracksStepChange(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 50; i++ {
+		e.Observe(1)
+	}
+	// Step: the stream jumps 1 -> 100. With alpha 0.2 the residual gap
+	// shrinks by 0.8 per sample: after 10 samples, (0.8)^10 ~ 10.7% of
+	// the jump remains.
+	for i := 0; i < 10; i++ {
+		e.Observe(100)
+	}
+	want := 100 - 99*math.Pow(0.8, 10)
+	if math.Abs(e.Mean()-want) > 1e-9 {
+		t.Fatalf("mean after step = %v, want %v", e.Mean(), want)
+	}
+	if e.Mean() < 85 {
+		t.Fatalf("decay too slow: mean %v should be most of the way to 100", e.Mean())
+	}
+	// The transition inflates the spread; more samples at the new level
+	// deflate it again.
+	stdDuring := e.Std()
+	for i := 0; i < 60; i++ {
+		e.Observe(100)
+	}
+	if e.Std() >= stdDuring {
+		t.Fatalf("std should decay after the stream settles: during=%v after=%v", stdDuring, e.Std())
+	}
+}
+
+// A bad alpha falls back to the documented default rather than
+// producing a frozen (alpha 0) or oscillating (alpha > 1) estimator.
+func TestEWMABadAlphaFallsBack(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		e := NewEWMA(alpha)
+		e.Observe(10)
+		e.Observe(20)
+		want := 10 + DefaultEWMAAlpha*10
+		if math.Abs(e.Mean()-want) > 1e-12 {
+			t.Fatalf("alpha %v: mean = %v, want %v (default alpha)", alpha, e.Mean(), want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/httpapi"
 )
 
 // Request is the POST /sweep body.
@@ -61,28 +62,28 @@ func Handler(srv Server) http.Handler {
 		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			status := http.StatusBadRequest
+			status, code := http.StatusBadRequest, httpapi.CodeBadRequest
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				status = http.StatusRequestEntityTooLarge
+				status, code = http.StatusRequestEntityTooLarge, httpapi.CodePayloadTooLarge
 			}
-			httpError(w, status, "bad request body: "+err.Error())
+			httpapi.WriteError(w, status, code, "bad request body: "+err.Error())
 			return
 		}
 		sp, err := ParseSpec(req.ID, req.Params)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		sp.Parallelism = req.Parallelism
 		// Validate up front so schema errors surface as a proper HTTP
 		// status; once streaming starts the status line is committed.
 		if _, err := sp.Validate(); err != nil {
-			status := http.StatusBadRequest
+			status, code := http.StatusBadRequest, httpapi.CodeBadRequest
 			if _, ok := core.ByID(req.ID); !ok {
-				status = http.StatusNotFound
+				status, code = http.StatusNotFound, httpapi.CodeNotFound
 			}
-			httpError(w, status, err.Error())
+			httpapi.WriteError(w, status, code, err.Error())
 			return
 		}
 
@@ -140,10 +141,4 @@ func Handler(srv Server) http.Handler {
 		sl.Summary.Report = sum.Aggregate.Render()
 		_ = line(sl)
 	})
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
