@@ -23,11 +23,11 @@ race:
 	$(GO) test -race ./...
 
 # docs-check fails when DESIGN.md §2 drifts from the experiment registry,
-# §8 drifts from the admit package's policy/class lists, §9 drifts from
-# the obs metric registries or event vocabulary, or a package loses its
-# godoc comment.
+# §4 drifts from the slab-cache implementation, §8 drifts from the admit
+# package's policy/class lists, §9 drifts from the obs metric registries
+# or event vocabulary, or a package loses its godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestRoutingDocsCoverHedging|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestRoutingDocsCoverHedging|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs|TestSlabCacheDocs' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race

@@ -218,6 +218,7 @@ const serveBenchID = "E11"
 func BenchmarkServeColdRun(b *testing.B) {
 	e := serve.NewEngine(serve.Config{Workers: 2})
 	defer e.Close()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.Reset()
 		if _, err := e.Serve(serveBenchID); err != nil {
@@ -234,9 +235,34 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	if _, err := e.Serve(serveBenchID); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := e.Serve(serveBenchID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServeEncodedCacheHit measures the zero-copy warm path: shard
+// lookup, in-place hit-count bump, and the encoded payload returned
+// straight from the slab — no decode. The allocs/op column is the
+// tentpole's acceptance metric (near-zero per warm hit).
+func BenchmarkServeEncodedCacheHit(b *testing.B) {
+	e := serve.NewEngine(serve.Config{Workers: 2})
+	defer e.Close()
+	if _, err := e.Serve(serveBenchID); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.ServeEncoded(ctx, serveBenchID, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,6 +279,7 @@ func BenchmarkServeConcurrentSingleflight(b *testing.B) {
 	const clients = 16
 	e := serve.NewEngine(serve.Config{Workers: 4})
 	defer e.Close()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.Reset()
 		var wg sync.WaitGroup
@@ -279,6 +306,7 @@ func BenchmarkServeContentionCacheHot(b *testing.B) {
 	if _, err := e.Serve(serveBenchID); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {

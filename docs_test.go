@@ -440,6 +440,78 @@ func TestAdversarialWorkloadDocs(t *testing.T) {
 	}
 }
 
+// The slab-cache docs cannot drift from the tier-1 implementation:
+// DESIGN.md §4 must document the segment-arena layout, the open-
+// addressed offset index, the fixed in-place hit word, the eviction
+// policy vocabulary (pinned to serve's ParseEvictionPolicy names), the
+// aliasing contract, the zero-copy bin format, and the comparative
+// benchmark harness; §6 must carry the allocs_per_request field and its
+// ratchet semantics; README must document the cache flags and the
+// zero-alloc perf note.
+func TestSlabCacheDocs(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s4 := strings.Index(doc, "## §4")
+	s5 := strings.Index(doc, "## §5")
+	if s4 < 0 || s5 < 0 || s5 <= s4 {
+		t.Fatal("DESIGN.md lost its §4/§5 structure")
+	}
+	// Collapse whitespace so pinned phrases may wrap.
+	sec4 := strings.Join(strings.Fields(doc[s4:s5]), " ")
+	for _, want := range []string{
+		"segment arenas", "open-addressed offset index", "O(segments)",
+		"8-byte hit word at offset 0", "in place",
+		"aliasing contract", "copy-on-read",
+		"format=bin", "application/octet-stream", "ServeEncoded",
+		"legacyCache", "b.ReportAllocs()", "BenchmarkServeEncodedCacheHit",
+	} {
+		if !strings.Contains(sec4, want) {
+			t.Errorf("DESIGN.md §4 no longer documents %q", want)
+		}
+	}
+	// The eviction vocabulary is pinned to the code's parser: every name
+	// ParseEvictionPolicy accepts must be documented as a policy.
+	for _, name := range []string{"lru", "cost"} {
+		if p, err := serve.ParseEvictionPolicy(name); err != nil || p.String() != name {
+			t.Errorf("serve.ParseEvictionPolicy(%q) = %v, %v — docs pin this vocabulary", name, p, err)
+		}
+		if !strings.Contains(sec4, "`"+name+"`") {
+			t.Errorf("DESIGN.md §4 does not document eviction policy %q", name)
+		}
+	}
+
+	s6 := strings.Index(doc, "## §6")
+	s7 := strings.Index(doc, "## §7")
+	if s6 < 0 || s7 < 0 || s7 <= s6 {
+		t.Fatal("DESIGN.md lost its §6/§7 structure")
+	}
+	sec6 := strings.Join(strings.Fields(doc[s6:s7]), " ")
+	for _, want := range []string{
+		"`allocs_per_request`", "Mallocs delta", "ratchet",
+	} {
+		if !strings.Contains(sec6, want) {
+			t.Errorf("DESIGN.md §6 no longer documents %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := strings.Join(strings.Fields(string(readme)), " ")
+	for _, want := range []string{
+		"-cache-bytes", "-cache-policy", "zero-copy", "0 allocs/op",
+		"BenchmarkServeEncodedCacheHit", "allocs_per_request",
+	} {
+		if !strings.Contains(rdoc, want) {
+			t.Errorf("README.md no longer documents %q", want)
+		}
+	}
+}
+
 // Every internal package carries a package-level godoc comment
 // ("// Package <name> ..."), and every command a "// Command <name> ..."
 // one.

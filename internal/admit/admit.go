@@ -547,7 +547,7 @@ func (s *Scheduler) worker() {
 		s.cond.Broadcast() // queue space freed: wake blocked batch submitters
 
 		t0 := time.Now()
-		it.val, it.err = it.run()
+		it.val, it.err = runTask(it.run)
 		dur := time.Since(t0).Seconds()
 		close(it.done)
 
@@ -561,6 +561,18 @@ func (s *Scheduler) worker() {
 			s.svcEWMA[it.class] = (1-alpha)*s.svcEWMA[it.class] + alpha*dur
 		}
 	}
+}
+
+// runTask executes a submitted task, converting a panic into an error.
+// A panic on a worker goroutine would otherwise kill the whole process
+// — and it.done would never close, wedging the submitter forever.
+func runTask(run func() ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, fmt.Errorf("admit: task panicked: %v", r)
+		}
+	}()
+	return run()
 }
 
 // timedWaitLocked waits on the condvar, waking after at most d (the next

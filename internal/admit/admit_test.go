@@ -510,3 +510,33 @@ func TestNamesAndAccessors(t *testing.T) {
 		t.Fatalf("accessors: workers=%d policy=%v", s.Workers(), s.Policy())
 	}
 }
+
+// A panicking task used to kill the worker goroutine — and with it the
+// whole process — while the submitter blocked on a done channel that
+// would never close. runTask must convert the panic into an error, keep
+// the worker alive, and keep the completion books consistent.
+func TestSchedulerTaskPanicBecomesError(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1})
+	defer s.Close()
+
+	_, err := s.Run(context.Background(), func() ([]byte, error) {
+		panic("task blew up")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("panicking task: err = %v, want panic-converted error", err)
+	}
+
+	// The single worker survived: it must still run the next task.
+	val, err := s.Run(context.Background(), func() ([]byte, error) {
+		return []byte("alive"), nil
+	})
+	if err != nil || string(val) != "alive" {
+		t.Fatalf("task after panic: %q, %v", val, err)
+	}
+
+	st := s.Stats()
+	cs := st.Classes[Interactive.String()]
+	if cs.Started != 2 || cs.Completed != 2 {
+		t.Fatalf("worker books after panic: started=%d completed=%d, want 2/2", cs.Started, cs.Completed)
+	}
+}

@@ -27,6 +27,26 @@ import (
 // hop can decline to re-hedge an already-hedged request.
 const HeaderHedge = "X-Arch21-Hedge"
 
+// Binary result transport (?format=bin): the response body is the raw
+// core.Result codec payload exactly as memoized — served zero-copy from
+// the tier-1 slab — and the envelope fields JSON would carry ride in
+// these response headers instead. The routing front-end's backend client
+// uses this so a proxied warm hit is one slab read plus one body copy,
+// never a decode/re-encode round trip.
+const (
+	// HeaderKey echoes the cache key the result is memoized under.
+	HeaderKey = "X-Arch21-Key"
+	// HeaderCacheHit is "1" when the result came straight from the
+	// replica's cache.
+	HeaderCacheHit = "X-Arch21-Cache-Hit"
+	// HeaderShared is "1" when the request piggybacked on another
+	// caller's in-flight execution.
+	HeaderShared = "X-Arch21-Shared"
+	// HeaderParam carries one resolved "name=value" parameter assignment
+	// per header value (repeated, like the ?param query key it mirrors).
+	HeaderParam = "X-Arch21-Param"
+)
+
 type hedgeKey struct{}
 
 // WithHedge tags a context as a hedged backup attempt.

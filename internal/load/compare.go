@@ -16,6 +16,13 @@ const latencyGateFloor = 1e-3
 // meaningless when the baseline rate is 0).
 const errorRateSlack = 0.01
 
+// allocsSlack is the absolute allocs-per-request increase tolerated on
+// top of the fractional tolerance. Near-zero baselines make a purely
+// fractional gate hair-trigger (0.1 → 0.2 allocs/req is a 100% "rise"
+// that means nothing), so a regression must clear both bars: more than
+// tolerance fractionally AND more than allocsSlack absolute.
+const allocsSlack = 2.0
+
 // Delta is one metric's old-vs-new comparison.
 type Delta struct {
 	// Scenario and Metric identify the comparison.
@@ -79,7 +86,10 @@ func change(old, new float64) float64 {
 // calibration figure when both reports carry one) must not drop by more
 // than tolerance; p99 must not rise by more than tolerance once past
 // latencyGateFloor; error rate must not rise by more than errorRateSlack
-// absolute. p50 and cache hit ratio are reported as informational deltas.
+// absolute; allocs per request must not rise past both tolerance and
+// allocsSlack once the baseline records the figure (a ratchet — older
+// baselines without it leave the metric informational). p50 and cache
+// hit ratio are reported as informational deltas.
 // Every old scenario must appear in new (a vanished scenario is an
 // error). A scenario whose two reports disagree on schema version is
 // skipped — recorded in Comparison.Skipped, not an error — so a schema
@@ -178,6 +188,24 @@ func Compare(old, new []Report, tolerance float64) (Comparison, error) {
 			Old: o.Metrics.CacheHitRatio, New: n.Metrics.CacheHitRatio,
 			Change: change(o.Metrics.CacheHitRatio, n.Metrics.CacheHitRatio),
 		})
+
+		// Allocations per request: a ratchet, not a fixed budget. The gate
+		// engages only once the baseline carries the figure (older artifacts
+		// predate the field and report 0), and a regression must exceed both
+		// the fractional tolerance and allocsSlack absolute — see allocsSlack
+		// for why near-zero baselines need the absolute bar.
+		oA, nA := o.Metrics.AllocsPerRequest, n.Metrics.AllocsPerRequest
+		aDelta := Delta{
+			Scenario: o.Scenario, Metric: "allocs_per_request",
+			Old: oA, New: nA, Change: change(oA, nA),
+		}
+		if oA > 0 {
+			aDelta.Gated = true
+			aDelta.Regression = nA > oA*(1+tolerance) && nA > oA+allocsSlack
+		} else {
+			aDelta.Note = "not gated: baseline predates allocs_per_request — re-measure to engage the ratchet"
+		}
+		cmp.Deltas = append(cmp.Deltas, aDelta)
 	}
 	return cmp, nil
 }

@@ -129,9 +129,70 @@ func TestCompareTable(t *testing.T) {
 						tc.regression, cmp.Regressions())
 				}
 			}
-			// Every scenario contributes its five deltas.
-			if want := 5 * len(tc.old); len(cmp.Deltas) != want {
+			// Every scenario contributes its six deltas.
+			if want := 6 * len(tc.old); len(cmp.Deltas) != want {
 				t.Fatalf("got %d deltas, want %d", len(cmp.Deltas), want)
+			}
+		})
+	}
+}
+
+// allocsReport builds a report with a recorded allocs-per-request figure
+// on top of the usual baseline shape.
+func allocsReport(scenario string, allocs float64) Report {
+	r := cmpReport(scenario, 1000, 0.002, 0, 1e9)
+	r.Metrics.AllocsPerRequest = allocs
+	return r
+}
+
+// The allocs gate is a ratchet: it engages only when the baseline
+// carries the figure, and a regression must clear both the fractional
+// tolerance and the absolute allocsSlack bar — a near-zero baseline
+// doubling from 0.5 to 1 alloc/req is noise, not a regression.
+func TestCompareAllocsRatchet(t *testing.T) {
+	const tol = 0.25
+	cases := []struct {
+		name      string
+		old, new  float64
+		regressed bool
+	}{
+		{"improvement passes", 40, 4, false},
+		{"flat passes", 40, 40, false},
+		{"within tolerance passes", 40, 48, false},
+		{"over tolerance and slack fails", 40, 55, true},
+		// 0.5 → 1.5 is +200% but only +1 absolute: under allocsSlack.
+		{"near-zero baseline jitter is not gated", 0.5, 1.5, false},
+		// Over tolerance fractionally AND past the absolute bar.
+		{"near-zero baseline real regression fails", 0.5, 12, true},
+		// Baseline predates the field: informational only, never gated.
+		{"missing baseline figure leaves metric ungated", 0, 500, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmp, err := Compare(
+				[]Report{allocsReport("warm-hammer", tc.old)},
+				[]Report{allocsReport("warm-hammer", tc.new)}, tol)
+			if err != nil {
+				t.Fatalf("Compare: %v", err)
+			}
+			var delta *Delta
+			for i := range cmp.Deltas {
+				if cmp.Deltas[i].Metric == "allocs_per_request" {
+					delta = &cmp.Deltas[i]
+				}
+			}
+			if delta == nil {
+				t.Fatalf("no allocs_per_request delta in %+v", cmp.Deltas)
+			}
+			if delta.Regression != tc.regressed {
+				t.Fatalf("allocs regression = %v, want %v (delta %+v)",
+					delta.Regression, tc.regressed, *delta)
+			}
+			if wantGated := tc.old > 0; delta.Gated != wantGated {
+				t.Fatalf("allocs gated = %v, want %v", delta.Gated, wantGated)
+			}
+			if tc.old == 0 && delta.Note == "" {
+				t.Fatal("ungated allocs delta should carry an explanatory note")
 			}
 		})
 	}
@@ -244,8 +305,8 @@ func TestCompareSchemaMismatchSkipsScenario(t *testing.T) {
 			t.Fatalf("delta for skipped scenario %s: %+v", d.Scenario, d)
 		}
 	}
-	if len(cmp.Deltas) != 5 {
-		t.Fatalf("got %d deltas for the comparable scenario, want 5", len(cmp.Deltas))
+	if len(cmp.Deltas) != 6 {
+		t.Fatalf("got %d deltas for the comparable scenario, want 6", len(cmp.Deltas))
 	}
 
 	// Matching-but-stale schemas on both sides still compare: the skip is
@@ -256,7 +317,7 @@ func TestCompareSchemaMismatchSkipsScenario(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compare: %v", err)
 	}
-	if len(cmp2.Skipped) != 0 || len(cmp2.Deltas) != 5 {
+	if len(cmp2.Skipped) != 0 || len(cmp2.Deltas) != 6 {
 		t.Fatalf("equal-schema reports should compare: skipped=%v deltas=%d",
 			cmp2.Skipped, len(cmp2.Deltas))
 	}

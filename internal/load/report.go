@@ -127,6 +127,14 @@ type Metrics struct {
 	// perfectly fair, 1/n is one tenant taking everything; 0 when the
 	// run had no tenant mixes.
 	FairnessIndex float64 `json:"fairness_index,omitempty"`
+	// AllocsPerRequest is the heap allocation count per issued request
+	// over the measured window (runtime Mallocs delta / requests),
+	// covering the target's serving path plus the generator's own loop.
+	// The CI allocs gate ratchets on it: once a baseline records the
+	// figure, a regression past tolerance fails bench-smoke. Absent in
+	// reports measured before this field existed (the addition is
+	// schema-compatible, like PerClass).
+	AllocsPerRequest float64 `json:"allocs_per_request,omitempty"`
 }
 
 // Report is one scenario run — the versioned, machine-readable BENCH

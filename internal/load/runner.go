@@ -254,6 +254,15 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 		return true
 	}
 
+	// Bracket the measured window with allocator snapshots: the Mallocs
+	// delta divided by requests is the run's allocs-per-request figure —
+	// the metric the CI allocs gate ratchets. The bracket excludes warmup
+	// (above) and calibration (taken after the post-window snapshot), but
+	// includes the generator's own per-request overhead: the gate bounds
+	// the whole measured loop, which is exactly what throughput runs on.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	t0 := time.Now()
 
 	// The colocated batch storm: closed-loop batch-class clients cycling
@@ -406,6 +415,8 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 	stormWG.Wait()
 	tenantWG.Wait()
 	elapsed := time.Since(t0)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	// Fold per-class books into class metrics plus a cross-class
 	// aggregate (the top-level Metrics every existing consumer reads).
@@ -468,6 +479,9 @@ func Run(tgt Target, sc Scenario, opt Options) (Report, error) {
 	if ok > 0 {
 		m.CacheHitRatio = float64(hits) / float64(ok)
 		m.DedupRatio = float64(shared) / float64(ok)
+	}
+	if req > 0 {
+		m.AllocsPerRequest = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(req)
 	}
 	// Calibrate at the run's own concurrency: closed-loop throughput
 	// scales with clients (up to the core count), open-loop fan-out with

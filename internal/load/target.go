@@ -53,9 +53,11 @@ type EngineTarget struct{ ResettableServerTarget }
 // NewEngineTarget wraps an engine. The caller keeps ownership (and must
 // Close it).
 func NewEngineTarget(eng *serve.Engine) *EngineTarget {
-	return &EngineTarget{ResettableServerTarget{
+	t := &EngineTarget{ResettableServerTarget{
 		ServerTarget: ServerTarget{srv: eng, name: "engine", reset: eng.Reset},
 	}}
+	t.init()
+	return t
 }
 
 // Server is any in-process serving surface (serve.Engine, router.Router)
@@ -64,34 +66,77 @@ type Server interface {
 	ServeWith(ctx context.Context, id string, p core.Params) (serve.Response, error)
 }
 
+// EncodedServer is the zero-copy serving surface (serve.Engine): results
+// stay encoded, so a warm hit costs no decode. ServerTarget uses it when
+// the wrapped server offers it — what lets the generator measure the
+// slab path itself instead of its own decode allocations.
+type EncodedServer interface {
+	ServeEncoded(ctx context.Context, id string, p core.Params) (serve.RawResponse, error)
+}
+
 // ServerTarget applies load to any Server — how the router is measured
 // like any single engine.
 type ServerTarget struct {
 	srv   Server
+	enc   EncodedServer // non-nil when srv serves encoded results
 	name  string
 	reset func()
+	// classCtx precomputes one context per class: Do is the generator's
+	// innermost loop, and rebuilding an identical context value per
+	// request is pure allocator pressure. Tenant-tagged requests still
+	// derive per-call (the tenant varies per variant).
+	classCtx [2]context.Context
 }
 
 // NewServerTarget wraps a server under a target name for reports
 // ("router", "engine").
 func NewServerTarget(srv Server, name string) *ServerTarget {
-	return &ServerTarget{srv: srv, name: name}
+	t := &ServerTarget{srv: srv, name: name}
+	t.init()
+	return t
+}
+
+func (t *ServerTarget) init() {
+	t.enc, _ = t.srv.(EncodedServer)
+	for _, class := range admit.Classes() {
+		t.classCtx[class] = admit.WithClass(context.Background(), class)
+	}
 }
 
 // WithReset attaches a cache-reset hook (e.g. resetting every replica
 // engine behind a router), making the target satisfy Resetter.
 func (t *ServerTarget) WithReset(reset func()) *ResettableServerTarget {
-	return &ResettableServerTarget{ServerTarget: ServerTarget{srv: t.srv, name: t.name, reset: reset}}
+	rt := &ResettableServerTarget{ServerTarget: ServerTarget{srv: t.srv, name: t.name, reset: reset}}
+	rt.init()
+	return rt
 }
 
-// Do serves one variant through the server under the variant's class
-// and, for multi-tenant scenarios, its tenant identity.
-func (t *ServerTarget) Do(v Variant) (Outcome, error) {
-	ctx := admit.WithClass(context.Background(), v.Class)
+// ctx returns the request context for a variant: the precomputed
+// per-class context unless a tenant tag forces a derived one.
+func (t *ServerTarget) ctx(v Variant) context.Context {
+	ctx := t.classCtx[v.Class]
+	if ctx == nil { // zero-value ServerTarget (tests)
+		ctx = admit.WithClass(context.Background(), v.Class)
+	}
 	if v.Tenant != "" {
 		ctx = admit.WithTenant(ctx, v.Tenant)
 	}
-	resp, err := t.srv.ServeWith(ctx, v.ID, v.Params)
+	return ctx
+}
+
+// Do serves one variant through the server under the variant's class
+// and, for multi-tenant scenarios, its tenant identity. Servers that
+// expose the encoded path are driven through it — the measured request
+// then exercises exactly the bytes-out path the HTTP layer serves.
+func (t *ServerTarget) Do(v Variant) (Outcome, error) {
+	if t.enc != nil {
+		rr, err := t.enc.ServeEncoded(t.ctx(v), v.ID, v.Params)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{CacheHit: rr.CacheHit, Shared: rr.Shared}, nil
+	}
+	resp, err := t.srv.ServeWith(t.ctx(v), v.ID, v.Params)
 	if err != nil {
 		return Outcome{}, err
 	}

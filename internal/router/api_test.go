@@ -18,6 +18,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/httpapi"
 	"repro/internal/serve"
 )
@@ -186,8 +187,8 @@ func TestHTTPBackendReusesConnections(t *testing.T) {
 				strings.Repeat("shed ", 200)) // larger than the 512B error sample
 			return
 		}
-		httpapi.WriteJSON(w, http.StatusOK, map[string]interface{}{
-			"id": strings.TrimPrefix(r.URL.Path, "/run/"), "class": "interactive"})
+		w.Header().Set(admit.HeaderClass, "interactive")
+		_, _ = w.Write(fakeResult(strings.TrimPrefix(r.URL.Path, "/run/")).Encode())
 	}))
 	t.Cleanup(srv.Close)
 	b := NewHTTPBackend(srv.URL)

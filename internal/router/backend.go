@@ -139,20 +139,6 @@ func NewHTTPBackend(addr string) *HTTPBackend {
 	}
 }
 
-// runEnvelope is the slice of the replica's /run/{id} JSON envelope the
-// router needs to reconstruct a serve.Response (full tables stay on the
-// replica; sweeps aggregate from headline + findings).
-type runEnvelope struct {
-	ID       string      `json:"id"`
-	Params   core.Params `json:"params"`
-	Key      string      `json:"key"`
-	Class    string      `json:"class"`
-	CacheHit bool        `json:"cache_hit"`
-	Shared   bool        `json:"shared"`
-	Headline *float64    `json:"headline"`
-	Findings []string    `json:"findings"`
-}
-
 // hopBudget is the slice of a request's remaining deadline the front-end
 // keeps for itself when forwarding: network transfer plus envelope
 // decode. The replica sees the decremented budget, so the whole chain —
@@ -161,21 +147,23 @@ type runEnvelope struct {
 // one.
 const hopBudget = 5 * time.Millisecond
 
-// Do implements Backend: GET /run/{id}?param=... against the replica.
-// The context's QoS envelope travels as headers via httpapi.Forward:
-// class, tenant, hedge marker, and the remaining deadline decremented
-// by hopBudget — so the whole chain fits the caller's original budget
+// Do implements Backend: GET /run/{id}?format=bin&param=... against the
+// replica. The binary transport carries the memoized codec bytes as the
+// body — served zero-copy from the replica's slab, decoded once here —
+// so a proxied result is the replica's full Result (tables and figures
+// included), not the headline slice the old JSON envelope kept. The
+// context's QoS envelope travels as headers via httpapi.Forward: class,
+// tenant, hedge marker, and the remaining deadline decremented by
+// hopBudget — so the whole chain fits the caller's original budget
 // instead of each hop granting itself a fresh one.
 func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	t0 := time.Now()
 	q := url.Values{}
+	q.Set("format", "bin")
 	for _, a := range p.Assignments() {
 		q.Add("param", a)
 	}
-	u := b.base + "/run/" + url.PathEscape(id)
-	if len(q) > 0 {
-		u += "?" + q.Encode()
-	}
+	u := b.base + "/run/" + url.PathEscape(id) + "?" + q.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return serve.Response{}, fmt.Errorf("router: %s: %v", b.base, err)
@@ -199,19 +187,27 @@ func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.R
 			&statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body)),
 				retryAfter: resp.Header.Get("Retry-After")})
 	}
-	var env runEnvelope
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return serve.Response{}, fmt.Errorf("router: %s: bad envelope: %v", b.base, err)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.Response{}, fmt.Errorf("router: %s: reading body: %v", b.base, err)
 	}
-	class, _ := admit.ParseClass(env.Class) // absent/unknown defaults to interactive
+	res, err := core.DecodeResult(raw)
+	if err != nil {
+		return serve.Response{}, fmt.Errorf("router: %s: bad result payload: %v", b.base, err)
+	}
+	params, err := core.ParseParams(resp.Header.Values(httpapi.HeaderParam))
+	if err != nil {
+		return serve.Response{}, fmt.Errorf("router: %s: bad param header: %v", b.base, err)
+	}
+	class, _ := admit.ParseClass(resp.Header.Get(admit.HeaderClass)) // absent/unknown defaults to interactive
 	return serve.Response{
-		ID:       env.ID,
-		Params:   env.Params,
-		Key:      env.Key,
+		ID:       id,
+		Params:   params,
+		Key:      resp.Header.Get(httpapi.HeaderKey),
 		Class:    class,
-		CacheHit: env.CacheHit,
-		Shared:   env.Shared,
-		Result:   core.Result{Headline: env.Headline, Findings: env.Findings},
+		CacheHit: resp.Header.Get(httpapi.HeaderCacheHit) == "1",
+		Shared:   resp.Header.Get(httpapi.HeaderShared) == "1",
+		Result:   res,
 		Latency:  time.Since(t0),
 	}, nil
 }

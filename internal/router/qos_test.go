@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/serve"
 )
 
@@ -31,9 +32,9 @@ func TestHTTPBackendPropagatesClassAndDeadline(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		gotClass.Store(r.Header.Get(admit.HeaderClass))
 		gotDeadlineMS.Store(r.Header.Get(admit.HeaderDeadlineMS))
-		serve.WriteJSON(w, http.StatusOK, map[string]any{
-			"id": r.PathValue("id"), "class": "batch", "cache_hit": true,
-		})
+		w.Header().Set(admit.HeaderClass, "batch")
+		w.Header().Set(httpapi.HeaderCacheHit, "1")
+		_, _ = w.Write(fakeResult(r.PathValue("id")).Encode())
 	}))
 	defer srv.Close()
 

@@ -10,33 +10,157 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/binary"
+	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 )
 
-// Cache is a sharded, memoizing byte cache. Keys hash to one of N
-// power-of-two shards, each guarded by its own mutex so concurrent readers
-// on different shards never contend. Entries carry an insertion timestamp,
-// a TTL, and a per-entry hit counter, serialized with the same varint
-// framing the result codec uses.
+// Cache is a sharded, memoizing byte cache backed by slab segments. Keys
+// hash to one of N power-of-two shards, each guarded by its own mutex so
+// concurrent readers on different shards never contend.
+//
+// Inside a shard, entries live packed inside fixed-size []byte segment
+// arenas, located through an open-addressed index of two scalar []uint64
+// slices — no per-entry Go object anywhere, so the GC scans O(segments)
+// pointers no matter how many millions of entries are cached (the
+// paper's memory-wall argument applied to the serving tier itself).
+// Entry headers are fixed-width, so the per-entry hit counter is bumped
+// in place on Get and a Set whose new payload fits the entry's value
+// capacity overwrites in place with no index churn and no allocation.
+//
+// Aliasing contract: Get returns a slice aliasing slab memory. It is
+// stable across Gets (only the fixed header words mutate afterwards) and
+// across segment reclamation (reclaimed segments are dropped to the GC,
+// never reused, so outstanding aliases stay intact), but a Set of the
+// same key may overwrite the bytes in place — callers must consume the
+// slice before writing the same key, and must never modify it. The
+// engine's singleflight layer guarantees it never Sets a live key it is
+// concurrently reading.
 type Cache struct {
 	shards []cacheShard
 	mask   uint64
 	ttl    time.Duration
+	// maxShardBytes bounds each shard's segment bytes (0 = unbounded:
+	// segments are only compacted, never evicted).
+	maxShardBytes int64
+	policy        EvictionPolicy
 	// now is the clock; replaceable in tests (cf. freecache's custom
 	// timer).
 	now func() time.Time
 }
 
+// EvictionPolicy selects which live entries survive segment reclamation
+// when a bounded cache is out of space.
+type EvictionPolicy uint8
+
+const (
+	// EvictLRU approximates least-recently-used with a CLOCK
+	// (second-chance) bit: an entry touched since the previous sweep is
+	// re-appended with its bit cleared; an untouched one is evicted.
+	EvictLRU EvictionPolicy = iota
+	// EvictCost is cost-aware: an entry with any recorded hits survives
+	// (its count is halved as it ages), so frequently re-derived results
+	// outlive one-shot ones regardless of recency.
+	EvictCost
+)
+
+// String names the policy for stats and logs.
+func (p EvictionPolicy) String() string {
+	if p == EvictCost {
+		return "cost"
+	}
+	return "lru"
+}
+
+// ParseEvictionPolicy resolves a policy name ("lru", "cost") — the
+// -cache-policy flag's parser.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	switch s {
+	case "lru":
+		return EvictLRU, nil
+	case "cost":
+		return EvictCost, nil
+	}
+	return EvictLRU, fmt.Errorf("serve: unknown eviction policy %q (want lru or cost)", s)
+}
+
+const (
+	// segmentSize is the standard slab arena size; entries larger than a
+	// segment get a dedicated arena of their exact size.
+	segmentSize = 64 << 10
+
+	// entryHitsLen is the fixed little-endian hit-counter word at offset
+	// 0 of every entry, bumped in place by Get.
+	entryHitsLen = 8
+	// entryHdrLen is the fixed entry header: hits u64, added i64, ttl
+	// i64, keyLen u32, valLen u32, valCap u32, state u32. Everything is
+	// fixed-width so in-place mutation never moves a byte after it.
+	entryHdrLen = 40
+
+	offAdded  = 8
+	offTTL    = 16
+	offKeyLen = 24
+	offValLen = 28
+	offValCap = 32
+	offState  = 36
+
+	stateLive     = 1 << 0
+	stateAccessed = 1 << 1 // the CLOCK second-chance bit
+
+	// idxEmpty/idxTombstone are the index-slot sentinels; a live slot
+	// stores the key hash with idxMark set (so it can never collide with
+	// a sentinel).
+	idxEmpty     = 0
+	idxTombstone = 1
+	idxMark      = uint64(1) << 63
+
+	// maxCacheShards clamps the requested shard count: the rounding loop
+	// would otherwise overflow into an infinite loop for adversarial
+	// values (1<<63 rounds to 0, then n<<=1 sticks at 0 forever), and a
+	// shard per key is pure overhead anyway.
+	maxCacheShards = 1 << 14
+)
+
+// segment is one append-only slab arena. Reclaimed segments are dropped
+// whole to the GC (never pooled or rewritten), which is what makes
+// Get-returned aliases memory-safe across reclamation.
+type segment struct {
+	buf  []byte
+	used int
+	live int // bytes occupied by live entries
+	seq  uint64
+}
+
 type cacheShard struct {
-	mu      sync.Mutex
-	entries map[string][]byte
+	mu sync.Mutex
+
+	// segs is oldest-first; appends go to the last segment. segBase is
+	// segs[0]'s sequence number — index refs address segments by
+	// sequence so reclamation (which shifts the slice) never invalidates
+	// them.
+	segs    []*segment
+	segBase uint64
+
+	// The open-addressed index: idxHash holds idxEmpty, idxTombstone, or
+	// hash|idxMark; idxRef packs the entry's location as seq<<32|offset.
+	// Linear probing; tombstones keep probe chains intact and are purged
+	// on rehash.
+	idxHash []uint64
+	idxRef  []uint64
+	idxMask uint64
+	idxLive int // live slots (== live entries)
+	idxUsed int // live + tombstoned slots
+
+	bytes int64 // total allocated segment bytes
+	dead  int64 // bytes occupied by dead (deleted/superseded) entries
+
 	hits    uint64
 	misses  uint64
 	expired uint64
+	evicted uint64
 }
 
 // CacheStats aggregates shard counters. JSON tags let servers expose the
@@ -50,14 +174,34 @@ type CacheStats struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Expired uint64 `json:"expired"`
+	// Evicted counts live entries dropped by capacity pressure (always 0
+	// for an unbounded cache).
+	Evicted uint64 `json:"evicted"`
+	// Bytes is the total slab arena footprint across shards (allocated,
+	// not just occupied).
+	Bytes int64 `json:"bytes"`
 	// Shards is the shard count.
 	Shards int `json:"shards"`
 }
 
-// NewCache builds a cache with at least the requested number of shards
-// (rounded up to a power of two, minimum 1) and the given TTL. A zero or
-// negative TTL means entries never expire.
+// NewCache builds an unbounded cache with at least the requested number
+// of shards (rounded up to a power of two, minimum 1, clamped to
+// maxCacheShards) and the given TTL. A zero or negative TTL means
+// entries never expire.
 func NewCache(shards int, ttl time.Duration) *Cache {
+	return NewCacheSized(shards, ttl, 0, EvictLRU)
+}
+
+// NewCacheSized is NewCache with a byte budget and an eviction policy:
+// maxBytes bounds the total slab footprint (approximately — the budget
+// is split per shard and enforced at segment granularity), with policy
+// choosing which entries survive reclamation. maxBytes <= 0 means
+// unbounded (segments are compacted when dead bytes accumulate, never
+// evicted).
+func NewCacheSized(shards int, ttl time.Duration, maxBytes int64, policy EvictionPolicy) *Cache {
+	if shards > maxCacheShards {
+		shards = maxCacheShards
+	}
 	n := 1
 	for n < shards {
 		n <<= 1
@@ -66,10 +210,15 @@ func NewCache(shards int, ttl time.Duration) *Cache {
 		shards: make([]cacheShard, n),
 		mask:   uint64(n - 1),
 		ttl:    ttl,
+		policy: policy,
 		now:    time.Now,
 	}
-	for i := range c.shards {
-		c.shards[i].entries = make(map[string][]byte)
+	if maxBytes > 0 {
+		per := maxBytes / int64(n)
+		if per < segmentSize {
+			per = segmentSize
+		}
+		c.maxShardBytes = per
 	}
 	return c
 }
@@ -88,107 +237,293 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-func (c *Cache) shard(key string) *cacheShard {
-	return &c.shards[fnv1a(key)&c.mask]
+// entrySize is an entry's full slab footprint.
+func entrySize(keyLen, valCap int) int { return entryHdrLen + keyLen + valCap }
+
+// valCapFor rounds a payload length up to the entry's value capacity:
+// 8-byte aligned so a re-encoded result that grew by a few bytes still
+// overwrites in place.
+func valCapFor(n int) int { return (n + 7) &^ 7 }
+
+func ref(seq uint64, off int) uint64 { return (seq&0xffffffff)<<32 | uint64(uint32(off)) }
+
+// at resolves an index ref to its segment and entry offset. Sequence
+// arithmetic is mod 2^32, so refs stay valid across any realistic number
+// of reclamations.
+func (s *cacheShard) at(r uint64) (*segment, int) {
+	idx := int(uint32(r>>32) - uint32(s.segBase))
+	return s.segs[idx], int(uint32(r))
 }
 
-// cacheEntry is the decoded form of a stored entry.
-type cacheEntry struct {
-	// addedUnixNano is the insertion time.
-	addedUnixNano int64
-	// ttlNanos is the entry lifetime (0 = immortal).
-	ttlNanos int64
-	// hits counts successful Gets of this entry.
-	hits int64
-	// val is the cached payload.
-	val []byte
-}
-
-// Encoded entry layout: the hit counter is a fixed 8-byte little-endian
-// word so Get can bump it in place (no realloc, no copy on the hot path);
-// the timestamp, TTL, and value length follow as varints, then the value.
-const entryHitsLen = 8
-
-// encode serializes the entry.
-func (e cacheEntry) encode() []byte {
-	buf := make([]byte, entryHitsLen, entryHitsLen+3*binary.MaxVarintLen64+len(e.val))
-	binary.LittleEndian.PutUint64(buf, uint64(e.hits))
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v int64) {
-		n := binary.PutVarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
+// find returns the index slot of key's live entry, or -1.
+func (s *cacheShard) find(h uint64, key string) int {
+	if len(s.idxHash) == 0 {
+		return -1
 	}
-	put(e.addedUnixNano)
-	put(e.ttlNanos)
-	put(int64(len(e.val)))
-	buf = append(buf, e.val...)
-	return buf
-}
-
-// decodeEntry parses an encoded entry; ok is false on corruption. The
-// returned val aliases buf.
-func decodeEntry(buf []byte) (e cacheEntry, ok bool) {
-	if len(buf) < entryHitsLen {
-		return e, false
-	}
-	e.hits = int64(binary.LittleEndian.Uint64(buf))
-	off := entryHitsLen
-	get := func() (int64, bool) {
-		v, n := binary.Varint(buf[off:])
-		if n <= 0 {
-			return 0, false
+	mark := h | idxMark
+	i := h & s.idxMask
+	for {
+		switch v := s.idxHash[i]; {
+		case v == idxEmpty:
+			return -1
+		case v == mark:
+			seg, off := s.at(s.idxRef[i])
+			b := seg.buf[off:]
+			kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+			if string(b[entryHdrLen:entryHdrLen+kl]) == key {
+				return int(i)
+			}
 		}
-		off += n
-		return v, true
+		i = (i + 1) & s.idxMask
 	}
-	var valLen int64
-	var good bool
-	if e.addedUnixNano, good = get(); !good {
-		return e, false
+}
+
+// findRef returns the slot whose stored ref equals want (used during
+// reclamation, where the entry's old location is the identity).
+func (s *cacheShard) findRef(h uint64, want uint64) int {
+	mark := h | idxMark
+	i := h & s.idxMask
+	for {
+		switch v := s.idxHash[i]; {
+		case v == idxEmpty:
+			return -1
+		case v == mark && s.idxRef[i] == want:
+			return int(i)
+		}
+		i = (i + 1) & s.idxMask
 	}
-	if e.ttlNanos, good = get(); !good {
-		return e, false
+}
+
+// insert adds a slot for a key known to be absent.
+func (s *cacheShard) insert(h, r uint64) {
+	if len(s.idxHash) == 0 {
+		s.idxHash = make([]uint64, 64)
+		s.idxRef = make([]uint64, 64)
+		s.idxMask = 63
+	} else if 4*(s.idxUsed+1) >= 3*len(s.idxHash) {
+		s.rehash()
 	}
-	if valLen, good = get(); !good {
-		return e, false
+	mark := h | idxMark
+	i := h & s.idxMask
+	for {
+		v := s.idxHash[i]
+		if v == idxEmpty || v == idxTombstone {
+			if v == idxEmpty {
+				s.idxUsed++
+			}
+			s.idxHash[i] = mark
+			s.idxRef[i] = r
+			s.idxLive++
+			return
+		}
+		i = (i + 1) & s.idxMask
 	}
-	if valLen < 0 || valLen != int64(len(buf)-off) {
-		return e, false
+}
+
+// rehash grows the index (or just purges tombstones when mostly dead).
+// Probe positions depend only on the hash's low bits, which the stored
+// mark preserves, so slots reinsert without re-reading keys.
+func (s *cacheShard) rehash() {
+	n := len(s.idxHash)
+	if 2*s.idxLive >= n {
+		n *= 2
 	}
-	e.val = buf[off:]
-	return e, true
+	oldH, oldR := s.idxHash, s.idxRef
+	s.idxHash = make([]uint64, n)
+	s.idxRef = make([]uint64, n)
+	s.idxMask = uint64(n - 1)
+	s.idxUsed, s.idxLive = 0, 0
+	for j, v := range oldH {
+		if v == idxEmpty || v == idxTombstone {
+			continue
+		}
+		i := v & s.idxMask
+		for s.idxHash[i] != idxEmpty {
+			i = (i + 1) & s.idxMask
+		}
+		s.idxHash[i] = v
+		s.idxRef[i] = oldR[j]
+		s.idxUsed++
+		s.idxLive++
+	}
+}
+
+// killSlot tombstones a slot and marks its entry dead in the slab.
+func (s *cacheShard) killSlot(slot int) {
+	seg, off := s.at(s.idxRef[slot])
+	b := seg.buf[off:]
+	kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+	vc := int(binary.LittleEndian.Uint32(b[offValCap:]))
+	size := entrySize(kl, vc)
+	st := binary.LittleEndian.Uint32(b[offState:])
+	binary.LittleEndian.PutUint32(b[offState:], st&^stateLive)
+	seg.live -= size
+	s.dead += int64(size)
+	s.idxHash[slot] = idxTombstone
+	s.idxLive--
+}
+
+// head returns a segment with room for size bytes, allocating a fresh
+// arena when the current head is full. When allowReclaim is set (the
+// normal Set path), a bounded shard first reclaims oldest segments until
+// the new arena fits its budget, and an unbounded shard compacts once a
+// full segment's worth of dead bytes has accumulated.
+func (s *cacheShard) head(c *Cache, size int, allowReclaim bool) *segment {
+	if n := len(s.segs); n > 0 {
+		if seg := s.segs[n-1]; seg.used+size <= len(seg.buf) {
+			return seg
+		}
+	}
+	segSize := segmentSize
+	if size > segSize {
+		segSize = size
+	}
+	if allowReclaim {
+		if c.maxShardBytes > 0 {
+			// Second chance first; if a sweep frees nothing (everything
+			// survived), force the next one so the loop always makes
+			// progress.
+			force := false
+			for s.bytes+int64(segSize) > c.maxShardBytes && len(s.segs) > 0 {
+				before := s.bytes
+				s.reclaimOldest(c, force)
+				if s.bytes >= before {
+					force = true
+				}
+			}
+		} else if s.dead >= segmentSize && len(s.segs) > 0 {
+			s.reclaimOldest(c, false)
+		}
+		if n := len(s.segs); n > 0 {
+			if seg := s.segs[n-1]; seg.used+size <= len(seg.buf) {
+				return seg
+			}
+		}
+	}
+	seg := &segment{buf: make([]byte, segSize), seq: s.segBase + uint64(len(s.segs))}
+	s.segs = append(s.segs, seg)
+	s.bytes += int64(segSize)
+	return seg
+}
+
+// reclaimOldest drops the oldest segment, re-appending the live entries
+// the eviction policy spares (all of them in unbounded/compaction mode;
+// none under force) and tombstoning the rest. The segment's buffer is
+// released to the GC untouched, so previously returned aliases into it
+// stay valid.
+func (s *cacheShard) reclaimOldest(c *Cache, force bool) {
+	seg := s.segs[0]
+	copy(s.segs, s.segs[1:])
+	s.segs[len(s.segs)-1] = nil
+	s.segs = s.segs[:len(s.segs)-1]
+	s.segBase++
+	s.bytes -= int64(len(seg.buf))
+	var deadHere int64
+	for off := 0; off+entryHdrLen <= seg.used; {
+		b := seg.buf[off:]
+		kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+		vc := int(binary.LittleEndian.Uint32(b[offValCap:]))
+		size := entrySize(kl, vc)
+		st := binary.LittleEndian.Uint32(b[offState:])
+		if st&stateLive == 0 {
+			deadHere += int64(size)
+			off += size
+			continue
+		}
+		h := fnv1a(string(b[entryHdrLen : entryHdrLen+kl]))
+		slot := s.findRef(h, ref(seg.seq, off))
+		survive := true
+		if force {
+			survive = false
+		} else if c.maxShardBytes > 0 {
+			switch c.policy {
+			case EvictCost:
+				survive = binary.LittleEndian.Uint64(b) > 0
+			default: // EvictLRU
+				survive = st&stateAccessed != 0
+			}
+		}
+		if survive {
+			dst := s.head(c, size, false)
+			noff := dst.used
+			copy(dst.buf[noff:noff+size], seg.buf[off:off+size])
+			nb := dst.buf[noff:]
+			// Age the survivor so it must earn its next reprieve.
+			if c.policy == EvictCost {
+				binary.LittleEndian.PutUint64(nb, binary.LittleEndian.Uint64(nb)/2)
+			}
+			binary.LittleEndian.PutUint32(nb[offState:],
+				binary.LittleEndian.Uint32(nb[offState:])&^stateAccessed)
+			dst.used += size
+			dst.live += size
+			s.idxRef[slot] = ref(dst.seq, noff)
+		} else {
+			s.idxHash[slot] = idxTombstone
+			s.idxLive--
+			s.evicted++
+		}
+		off += size
+	}
+	s.dead -= deadHere
+}
+
+// append writes a fresh entry into the slab and indexes it.
+func (s *cacheShard) append(c *Cache, h uint64, key string, val []byte, added int64) {
+	vc := valCapFor(len(val))
+	size := entrySize(len(key), vc)
+	seg := s.head(c, size, true)
+	off := seg.used
+	b := seg.buf[off : off+size]
+	binary.LittleEndian.PutUint64(b, 0)
+	binary.LittleEndian.PutUint64(b[offAdded:], uint64(added))
+	binary.LittleEndian.PutUint64(b[offTTL:], uint64(c.ttl))
+	binary.LittleEndian.PutUint32(b[offKeyLen:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(b[offValLen:], uint32(len(val)))
+	binary.LittleEndian.PutUint32(b[offValCap:], uint32(vc))
+	binary.LittleEndian.PutUint32(b[offState:], stateLive)
+	copy(b[entryHdrLen:], key)
+	copy(b[entryHdrLen+len(key):], val)
+	seg.used += size
+	seg.live += size
+	s.insert(h, ref(seg.seq, off))
 }
 
 // Get returns the cached payload for key, bumping the entry's hit counter
-// in place. Expired entries are evicted lazily on access. The returned
-// slice aliases cache-owned memory and must not be modified.
+// and CLOCK bit in place. Expired entries are evicted lazily on access.
+// The returned slice aliases slab memory — see the Cache aliasing
+// contract.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	s := c.shard(key)
+	h := fnv1a(key)
+	s := &c.shards[h&c.mask]
 	now := c.now().UnixNano()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	raw, ok := s.entries[key]
-	if !ok {
+	slot := s.find(h, key)
+	if slot < 0 {
 		s.misses++
+		s.mu.Unlock()
 		return nil, false
 	}
-	e, good := decodeEntry(raw)
-	if !good {
-		delete(s.entries, key)
-		s.misses++
-		return nil, false
+	seg, off := s.at(s.idxRef[slot])
+	b := seg.buf[off:]
+	if ttl := int64(binary.LittleEndian.Uint64(b[offTTL:])); ttl > 0 {
+		if added := int64(binary.LittleEndian.Uint64(b[offAdded:])); now-added > ttl {
+			s.killSlot(slot)
+			s.expired++
+			s.misses++
+			s.mu.Unlock()
+			return nil, false
+		}
 	}
-	if e.ttlNanos > 0 && now-e.addedUnixNano > e.ttlNanos {
-		delete(s.entries, key)
-		s.expired++
-		s.misses++
-		return nil, false
-	}
-	// Only the fixed hit-counter word is ever mutated after insertion, so
-	// previously returned val slices stay stable.
-	binary.LittleEndian.PutUint64(raw, uint64(e.hits+1))
+	binary.LittleEndian.PutUint64(b, binary.LittleEndian.Uint64(b)+1)
+	binary.LittleEndian.PutUint32(b[offState:],
+		binary.LittleEndian.Uint32(b[offState:])|stateAccessed)
 	s.hits++
-	return e.val, true
+	kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+	vl := int(binary.LittleEndian.Uint32(b[offValLen:]))
+	lo := off + entryHdrLen + kl
+	val := seg.buf[lo : lo+vl : lo+vl]
+	s.mu.Unlock()
+	return val, true
 }
 
 // Set stores a payload under key with the cache's TTL.
@@ -198,57 +533,81 @@ func (c *Cache) Set(key string, val []byte) {
 
 // SetStamped stores a payload with an explicit insertion time — how a
 // tier-2 warm start preserves entry age so a configured TTL keeps its
-// meaning across restarts.
+// meaning across restarts. When the key's live entry has capacity for
+// the new payload, the entry is overwritten in place (hit counter reset,
+// no index churn, no allocation); otherwise the old entry is tombstoned
+// and a fresh one appended.
 func (c *Cache) SetStamped(key string, val []byte, addedUnixNano int64) {
-	e := cacheEntry{
-		addedUnixNano: addedUnixNano,
-		ttlNanos:      int64(c.ttl),
-		val:           val,
-	}
-	s := c.shard(key)
+	h := fnv1a(key)
+	s := &c.shards[h&c.mask]
 	s.mu.Lock()
-	s.entries[key] = e.encode()
+	if slot := s.find(h, key); slot >= 0 {
+		seg, off := s.at(s.idxRef[slot])
+		b := seg.buf[off:]
+		if vc := int(binary.LittleEndian.Uint32(b[offValCap:])); len(val) <= vc {
+			binary.LittleEndian.PutUint64(b, 0)
+			binary.LittleEndian.PutUint64(b[offAdded:], uint64(addedUnixNano))
+			binary.LittleEndian.PutUint64(b[offTTL:], uint64(c.ttl))
+			binary.LittleEndian.PutUint32(b[offValLen:], uint32(len(val)))
+			binary.LittleEndian.PutUint32(b[offState:], stateLive)
+			kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+			copy(b[entryHdrLen+kl:], val)
+			s.mu.Unlock()
+			return
+		}
+		s.killSlot(slot)
+	}
+	s.append(c, h, key, val, addedUnixNano)
 	s.mu.Unlock()
 }
 
 // Hits returns the hit counter for key's entry (0 if absent), without
 // counting as an access.
 func (c *Cache) Hits(key string) int64 {
-	s := c.shard(key)
+	h := fnv1a(key)
+	s := &c.shards[h&c.mask]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	raw, ok := s.entries[key]
-	if !ok {
+	slot := s.find(h, key)
+	if slot < 0 {
 		return 0
 	}
-	e, good := decodeEntry(raw)
-	if !good {
-		return 0
-	}
-	return e.hits
+	seg, off := s.at(s.idxRef[slot])
+	return int64(binary.LittleEndian.Uint64(seg.buf[off:]))
 }
 
 // Delete removes key. It reports whether an entry was present.
 func (c *Cache) Delete(key string) bool {
-	s := c.shard(key)
+	h := fnv1a(key)
+	s := &c.shards[h&c.mask]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.entries[key]
-	delete(s.entries, key)
-	return ok
+	slot := s.find(h, key)
+	if slot < 0 {
+		return false
+	}
+	s.killSlot(slot)
+	return true
 }
 
 // DeletePrefix removes every entry whose key starts with prefix and
 // returns how many were removed. It walks all shards, so it is an
 // administrative operation, not a hot-path one.
 func (c *Cache) DeletePrefix(prefix string) int {
+	pfx := []byte(prefix)
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for key := range s.entries {
-			if strings.HasPrefix(key, prefix) {
-				delete(s.entries, key)
+		for slot, v := range s.idxHash {
+			if v == idxEmpty || v == idxTombstone {
+				continue
+			}
+			seg, off := s.at(s.idxRef[slot])
+			b := seg.buf[off:]
+			kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+			if bytes.HasPrefix(b[entryHdrLen:entryHdrLen+kl], pfx) {
+				s.killSlot(slot)
 				n++
 			}
 		}
@@ -278,17 +637,25 @@ func (c *Cache) Dump() []KV {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for key, raw := range s.entries {
-			e, good := decodeEntry(raw)
-			if !good {
+		for slot, v := range s.idxHash {
+			if v == idxEmpty || v == idxTombstone {
 				continue
 			}
-			if e.ttlNanos > 0 && now-e.addedUnixNano > e.ttlNanos {
+			seg, off := s.at(s.idxRef[slot])
+			b := seg.buf[off:]
+			added := int64(binary.LittleEndian.Uint64(b[offAdded:]))
+			if ttl := int64(binary.LittleEndian.Uint64(b[offTTL:])); ttl > 0 && now-added > ttl {
 				continue
 			}
-			val := make([]byte, len(e.val))
-			copy(val, e.val)
-			out = append(out, KV{Key: key, Val: val, AddedUnixNano: e.addedUnixNano})
+			kl := int(binary.LittleEndian.Uint32(b[offKeyLen:]))
+			vl := int(binary.LittleEndian.Uint32(b[offValLen:]))
+			val := make([]byte, vl)
+			copy(val, b[entryHdrLen+kl:entryHdrLen+kl+vl])
+			out = append(out, KV{
+				Key:           string(b[entryHdrLen : entryHdrLen+kl]),
+				Val:           val,
+				AddedUnixNano: added,
+			})
 		}
 		s.mu.Unlock()
 	}
@@ -296,12 +663,16 @@ func (c *Cache) Dump() []KV {
 	return out
 }
 
-// Clear drops every entry (counters are preserved).
+// Clear drops every entry and arena (counters are preserved).
 func (c *Cache) Clear() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.entries = make(map[string][]byte)
+		s.segBase += uint64(len(s.segs))
+		s.segs = nil
+		s.idxHash, s.idxRef, s.idxMask = nil, nil, 0
+		s.idxLive, s.idxUsed = 0, 0
+		s.bytes, s.dead = 0, 0
 		s.mu.Unlock()
 	}
 }
@@ -312,10 +683,12 @@ func (c *Cache) Stats() CacheStats {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		st.Entries += len(s.entries)
+		st.Entries += s.idxLive
 		st.Hits += s.hits
 		st.Misses += s.misses
 		st.Expired += s.expired
+		st.Evicted += s.evicted
+		st.Bytes += s.bytes
 		s.mu.Unlock()
 	}
 	return st

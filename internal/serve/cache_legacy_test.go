@@ -1,0 +1,246 @@
+package serve
+
+// The pre-slab tier-1 cache: a sharded map[string][]byte of heap-allocated
+// varint blobs. It is kept test-side as the comparative-benchmark baseline
+// (see cache_bench_test.go) and as the owner of the cacheEntry codec the
+// snapshot format was originally derived from — the codec round-trip test
+// pins that historical layout.
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// legacyCache is the old map-based Cache, API-compatible where the
+// comparative benchmarks need it.
+type legacyCache struct {
+	shards []legacyShard
+	mask   uint64
+	ttl    time.Duration
+	now    func() time.Time
+}
+
+type legacyShard struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	hits    uint64
+	misses  uint64
+	expired uint64
+}
+
+func newLegacyCache(shards int, ttl time.Duration) *legacyCache {
+	if shards > maxCacheShards {
+		shards = maxCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &legacyCache{
+		shards: make([]legacyShard, n),
+		mask:   uint64(n - 1),
+		ttl:    ttl,
+		now:    time.Now,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string][]byte)
+	}
+	return c
+}
+
+func (c *legacyCache) shard(key string) *legacyShard {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// cacheEntry is the decoded form of a legacy stored entry.
+type cacheEntry struct {
+	addedUnixNano int64
+	ttlNanos      int64
+	hits          int64
+	val           []byte
+}
+
+// encode serializes the entry: the fixed 8-byte little-endian hit word
+// (shared with the slab layout as entryHitsLen), then timestamp, TTL,
+// and value length as varints, then the value.
+func (e cacheEntry) encode() []byte {
+	buf := make([]byte, entryHitsLen, entryHitsLen+3*binary.MaxVarintLen64+len(e.val))
+	binary.LittleEndian.PutUint64(buf, uint64(e.hits))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(e.addedUnixNano)
+	put(e.ttlNanos)
+	put(int64(len(e.val)))
+	buf = append(buf, e.val...)
+	return buf
+}
+
+// decodeEntry parses an encoded entry; ok is false on corruption. The
+// returned val aliases buf.
+func decodeEntry(buf []byte) (e cacheEntry, ok bool) {
+	if len(buf) < entryHitsLen {
+		return e, false
+	}
+	e.hits = int64(binary.LittleEndian.Uint64(buf))
+	off := entryHitsLen
+	get := func() (int64, bool) {
+		v, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	var valLen int64
+	var good bool
+	if e.addedUnixNano, good = get(); !good {
+		return e, false
+	}
+	if e.ttlNanos, good = get(); !good {
+		return e, false
+	}
+	if valLen, good = get(); !good {
+		return e, false
+	}
+	if valLen < 0 || valLen != int64(len(buf)-off) {
+		return e, false
+	}
+	e.val = buf[off:]
+	return e, true
+}
+
+func (c *legacyCache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	now := c.now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	e, good := decodeEntry(raw)
+	if !good {
+		delete(s.entries, key)
+		s.misses++
+		return nil, false
+	}
+	if e.ttlNanos > 0 && now-e.addedUnixNano > e.ttlNanos {
+		delete(s.entries, key)
+		s.expired++
+		s.misses++
+		return nil, false
+	}
+	binary.LittleEndian.PutUint64(raw, uint64(e.hits+1))
+	s.hits++
+	return e.val, true
+}
+
+func (c *legacyCache) Set(key string, val []byte) {
+	c.SetStamped(key, val, c.now().UnixNano())
+}
+
+func (c *legacyCache) SetStamped(key string, val []byte, addedUnixNano int64) {
+	e := cacheEntry{
+		addedUnixNano: addedUnixNano,
+		ttlNanos:      int64(c.ttl),
+		val:           val,
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	s.entries[key] = e.encode()
+	s.mu.Unlock()
+}
+
+func (c *legacyCache) Hits(key string) int64 {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.entries[key]
+	if !ok {
+		return 0
+	}
+	e, good := decodeEntry(raw)
+	if !good {
+		return 0
+	}
+	return e.hits
+}
+
+func (c *legacyCache) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	return ok
+}
+
+func (c *legacyCache) DeletePrefix(prefix string) int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key := range s.entries {
+			if strings.HasPrefix(key, prefix) {
+				delete(s.entries, key)
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (c *legacyCache) Dump() []KV {
+	now := c.now().UnixNano()
+	var out []KV
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, raw := range s.entries {
+			e, good := decodeEntry(raw)
+			if !good {
+				continue
+			}
+			if e.ttlNanos > 0 && now-e.addedUnixNano > e.ttlNanos {
+				continue
+			}
+			val := make([]byte, len(e.val))
+			copy(val, e.val)
+			out = append(out, KV{Key: key, Val: val, AddedUnixNano: e.addedUnixNano})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (c *legacyCache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string][]byte)
+		s.mu.Unlock()
+	}
+}
+
+func (c *legacyCache) Stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Expired += s.expired
+		s.mu.Unlock()
+	}
+	return st
+}

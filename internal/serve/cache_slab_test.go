@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// The shard-rounding loop used to spin forever for adversarial counts:
+// rounding 1<<62+1 up overflows n to negative/zero and `n <<= 1` never
+// reaches the target. The clamp bounds the loop before it starts.
+func TestShardCountClampsAdversarialValues(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{maxCacheShards, maxCacheShards},
+		{maxCacheShards + 1, maxCacheShards},
+		{math.MaxInt, maxCacheShards},
+		{math.MaxInt/2 + 2, maxCacheShards}, // > any power of two representable
+		{1 << 62, maxCacheShards},
+	}
+	for _, tc := range cases {
+		done := make(chan *Cache, 1)
+		go func() { done <- NewCache(tc.in, 0) }()
+		select {
+		case c := <-done:
+			if got := c.Stats().Shards; got != tc.want {
+				t.Errorf("NewCache(%d): %d shards, want %d", tc.in, got, tc.want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("NewCache(%d) hung (rounding overflow)", tc.in)
+		}
+	}
+}
+
+// A Set whose payload fits the entry's capacity must overwrite in place:
+// same slab footprint, hit counter reset, no new bytes consumed.
+func TestSlabInPlaceUpdate(t *testing.T) {
+	c := NewCache(1, 0)
+	c.Set("k", []byte("12345678"))
+	for i := 0; i < 3; i++ {
+		c.Get("k")
+	}
+	if got := c.Hits("k"); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+	before := c.Stats().Bytes
+	c.Set("k", []byte("1234")) // shorter: fits capacity
+	if got := c.Stats().Bytes; got != before {
+		t.Fatalf("in-place update changed slab bytes: %d -> %d", before, got)
+	}
+	if got := c.Hits("k"); got != 0 {
+		t.Fatalf("in-place update kept hits = %d, want reset to 0", got)
+	}
+	if v, ok := c.Get("k"); !ok || string(v) != "1234" {
+		t.Fatalf("Get after in-place update = %q, %v", v, ok)
+	}
+	// Growing past capacity relocates but must still round-trip.
+	big := make([]byte, 100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	c.Set("k", big)
+	v, ok := c.Get("k")
+	if !ok || len(v) != len(big) || v[99] != 99 {
+		t.Fatalf("Get after relocating update = %d bytes, %v", len(v), ok)
+	}
+	if got := c.Stats().Entries; got != 1 {
+		t.Fatalf("entries = %d, want 1 after overwrites", got)
+	}
+}
+
+// Payloads larger than a standard segment get dedicated arenas and
+// round-trip intact.
+func TestSlabOversizeEntries(t *testing.T) {
+	c := NewCache(1, 0)
+	big := make([]byte, 3*segmentSize)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	c.Set("big", big)
+	c.Set("small", []byte("s"))
+	v, ok := c.Get("big")
+	if !ok || len(v) != len(big) {
+		t.Fatalf("oversize Get = %d bytes, %v", len(v), ok)
+	}
+	for i := 0; i < len(big); i += 4097 {
+		if v[i] != big[i] {
+			t.Fatalf("oversize payload corrupt at %d", i)
+		}
+	}
+	if v, ok := c.Get("small"); !ok || string(v) != "s" {
+		t.Fatalf("small Get alongside oversize = %q, %v", v, ok)
+	}
+}
+
+// A bounded cache must stay within (about) its byte budget under
+// sustained insertion, evicting old entries rather than failing, and
+// every surviving entry must still read back correctly.
+func TestSlabBoundedEviction(t *testing.T) {
+	for _, policy := range []EvictionPolicy{EvictLRU, EvictCost} {
+		t.Run(policy.String(), func(t *testing.T) {
+			const budget = 4 * segmentSize
+			c := NewCacheSized(1, 0, budget, policy)
+			val := make([]byte, 1024)
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("key-%05d", i)
+				copy(val, key)
+				c.Set(key, val)
+			}
+			st := c.Stats()
+			if st.Evicted == 0 {
+				t.Fatalf("no evictions after writing %d x 1KiB into %d budget", 2000, budget)
+			}
+			if st.Bytes > budget+segmentSize {
+				t.Fatalf("slab bytes %d exceed budget %d by more than one segment", st.Bytes, budget)
+			}
+			found := 0
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("key-%05d", i)
+				if v, ok := c.Get(key); ok {
+					found++
+					if string(v[:len(key)]) != key {
+						t.Fatalf("surviving entry %s corrupt: %q", key, v[:len(key)])
+					}
+				}
+			}
+			if found == 0 || found == 2000 {
+				t.Fatalf("survivors = %d, want some but not all", found)
+			}
+		})
+	}
+}
+
+// Under LRU, a hot entry that keeps getting touched must outlive cold
+// neighbors inserted at the same time.
+func TestSlabLRUKeepsHotEntry(t *testing.T) {
+	c := NewCacheSized(1, 0, 2*segmentSize, EvictLRU)
+	val := make([]byte, 512)
+	c.Set("hot", val)
+	for i := 0; i < 5000; i++ {
+		c.Set(fmt.Sprintf("cold-%05d", i), val)
+		c.Get("hot") // refresh the CLOCK bit every round
+	}
+	if _, ok := c.Get("hot"); !ok {
+		t.Fatalf("hot entry evicted despite constant access")
+	}
+}
+
+// Cost-aware eviction keeps entries with recorded hits over never-hit
+// ones. Hit counts halve on every survival sweep, so the entry must keep
+// earning hits to stay — a one-time burst ages out by design.
+func TestSlabCostPolicyKeepsHitEntries(t *testing.T) {
+	c := NewCacheSized(1, 0, 2*segmentSize, EvictCost)
+	val := make([]byte, 512)
+	c.Set("earned", val)
+	for i := 0; i < 5000; i++ {
+		c.Set(fmt.Sprintf("oneshot-%05d", i), val)
+		if i%32 == 0 {
+			c.Get("earned") // keeps hits > 0 across halving sweeps
+		}
+	}
+	if _, ok := c.Get("earned"); !ok {
+		t.Fatalf("frequently-hit entry evicted under cost policy")
+	}
+	st := c.Stats()
+	if st.Evicted == 0 {
+		t.Fatal("expected one-shot entries to be evicted")
+	}
+}
+
+// An unbounded cache must compact dead bytes (from deletes and
+// relocating overwrites) instead of growing forever.
+func TestSlabUnboundedCompaction(t *testing.T) {
+	c := NewCache(1, 0)
+	val := make([]byte, 1024)
+	// Churn: insert then delete, repeatedly. Live set stays tiny; slab
+	// bytes must stay bounded (compaction reclaims dead segments).
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("churn-%05d", i)
+		c.Set(key, val)
+		if i >= 8 {
+			c.Delete(fmt.Sprintf("churn-%05d", i-8))
+		}
+	}
+	st := c.Stats()
+	if st.Evicted != 0 {
+		t.Fatalf("unbounded cache evicted %d live entries", st.Evicted)
+	}
+	// 3000 KiB written; the live tail is 8 KiB. Anything under a dozen
+	// segments proves compaction ran.
+	if st.Bytes > 12*segmentSize {
+		t.Fatalf("slab bytes %d: compaction not reclaiming dead segments", st.Bytes)
+	}
+	for i := 2993; i < 3000; i++ {
+		if _, ok := c.Get(fmt.Sprintf("churn-%05d", i)); !ok {
+			t.Fatalf("live tail entry churn-%05d lost in compaction", i)
+		}
+	}
+}
+
+// Aliases returned by Get before a reclamation must stay readable after
+// it (reclaimed segments are dropped to the GC, never reused).
+func TestSlabAliasSurvivesReclamation(t *testing.T) {
+	c := NewCacheSized(1, 0, 2*segmentSize, EvictLRU)
+	c.Set("pinned", []byte("stable-bytes"))
+	alias, ok := c.Get("pinned")
+	if !ok {
+		t.Fatal("pinned entry missing")
+	}
+	val := make([]byte, 1024)
+	for i := 0; i < 5000; i++ {
+		c.Set(fmt.Sprintf("filler-%05d", i), val)
+	}
+	if string(alias) != "stable-bytes" {
+		t.Fatalf("alias corrupted after reclamation: %q", alias)
+	}
+}
+
+// Dump / SetStamped round-trip across cache generations — the snapshot
+// path the engine's tier-2 warm start depends on.
+func TestSlabDumpRoundTripIntoFreshCache(t *testing.T) {
+	src := NewCache(4, time.Hour)
+	base := time.Now().Add(-30 * time.Minute).UnixNano()
+	for i := 0; i < 100; i++ {
+		src.SetStamped(fmt.Sprintf("snap-%03d", i), []byte(fmt.Sprintf("val-%03d", i)), base+int64(i))
+	}
+	dump := src.Dump()
+	if len(dump) != 100 {
+		t.Fatalf("dump = %d entries, want 100", len(dump))
+	}
+	dst := NewCache(4, time.Hour)
+	for _, kv := range dump {
+		dst.SetStamped(kv.Key, kv.Val, kv.AddedUnixNano)
+	}
+	redump := dst.Dump()
+	if len(redump) != 100 {
+		t.Fatalf("re-dump = %d entries, want 100", len(redump))
+	}
+	for i, kv := range redump {
+		if kv.Key != dump[i].Key || string(kv.Val) != string(dump[i].Val) || kv.AddedUnixNano != dump[i].AddedUnixNano {
+			t.Fatalf("entry %d drifted across round-trip: %+v vs %+v", i, kv, dump[i])
+		}
+	}
+}
+
+// Clear must release every arena and still serve fresh inserts.
+func TestSlabClearReleasesArenas(t *testing.T) {
+	c := NewCache(2, 0)
+	val := make([]byte, 1024)
+	for i := 0; i < 500; i++ {
+		c.Set(fmt.Sprintf("k-%03d", i), val)
+	}
+	if c.Stats().Bytes == 0 {
+		t.Fatal("no slab bytes before Clear")
+	}
+	c.Clear()
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after Clear: entries=%d bytes=%d, want 0/0", st.Entries, st.Bytes)
+	}
+	c.Set("fresh", []byte("v"))
+	if v, ok := c.Get("fresh"); !ok || string(v) != "v" {
+		t.Fatalf("Get after Clear = %q, %v", v, ok)
+	}
+}
+
+// DeletePrefix coherence carries over: prefix kills must hit slab
+// entries across shards and report an exact count.
+func TestSlabDeletePrefixAcrossSegments(t *testing.T) {
+	c := NewCache(8, 0)
+	val := make([]byte, 700)
+	for i := 0; i < 400; i++ {
+		c.Set(fmt.Sprintf("E9?n=%03d", i), val)
+		c.Set(fmt.Sprintf("E7?n=%03d", i), val)
+	}
+	if n := c.DeletePrefix("E9?"); n != 400 {
+		t.Fatalf("DeletePrefix = %d, want 400", n)
+	}
+	if _, ok := c.Get("E9?n=123"); ok {
+		t.Fatal("prefix-deleted entry still readable")
+	}
+	if _, ok := c.Get("E7?n=123"); !ok {
+		t.Fatal("unrelated prefix deleted")
+	}
+	if got := c.Stats().Entries; got != 400 {
+		t.Fatalf("entries = %d, want 400", got)
+	}
+}

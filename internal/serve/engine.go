@@ -33,6 +33,14 @@ type Config struct {
 	// experiments are deterministic, so staleness is impossible; a TTL
 	// only bounds memory).
 	TTL time.Duration
+	// CacheBytes bounds the tier-1 slab cache's total arena footprint
+	// (default 0: unbounded — dead bytes are compacted but live entries
+	// are never evicted). When set, CachePolicy picks the survivors.
+	CacheBytes int64
+	// CachePolicy selects the eviction policy for a bounded cache
+	// (default EvictLRU; EvictCost keeps frequently-hit entries over
+	// recent ones).
+	CachePolicy EvictionPolicy
 	// Workers bounds concurrent cold experiment runs (default 4).
 	Workers int
 	// Queue is the per-class scheduler queue depth (default 16*Workers).
@@ -210,6 +218,34 @@ type Response struct {
 	Latency time.Duration
 }
 
+// RawResponse is one served result in its encoded (wire) form — the
+// zero-copy variant of Response. Raw is the core.Result codec bytes
+// exactly as memoized; on a cache hit it aliases slab memory (see the
+// Cache aliasing contract), so callers must consume it before issuing
+// any write for the same key and must never modify it. Entries enter the
+// cache only as Encode output or as snapshot payloads validated by
+// DecodeResult at load, so Raw always decodes.
+type RawResponse struct {
+	// ID, Params, Key, Class mirror Response.
+	ID     string
+	Params core.Params
+	Key    string
+	Class  admit.Class
+	// Raw is the encoded core.Result payload.
+	Raw []byte
+	// CacheHit and Shared mirror Response.
+	CacheHit bool
+	Shared   bool
+	// Latency is the request's wall time inside the engine.
+	Latency time.Duration
+}
+
+// Result decodes the raw payload (allocating — the convenience path, not
+// the zero-copy one).
+func (r RawResponse) Result() (core.Result, error) {
+	return core.DecodeResult(r.Raw)
+}
+
 // runRegistry is the default RunnerWith: execute a registered experiment
 // under a resolved assignment (nil means defaults), honoring ctx.
 func runRegistry(ctx context.Context, id string, p core.Params) (core.Result, error) {
@@ -247,7 +283,7 @@ func NewEngine(cfg Config) *Engine {
 		}
 	}
 	e := &Engine{
-		cache: NewCache(cfg.Shards, cfg.TTL),
+		cache: NewCacheSized(cfg.Shards, cfg.TTL, cfg.CacheBytes, cfg.CachePolicy),
 		sched: admit.NewScheduler(admit.Config{
 			Workers:    cfg.Workers,
 			Queue:      cfg.Queue,
@@ -378,18 +414,9 @@ func (e *Engine) ServeWith(ctx context.Context, id string, p core.Params) (Respo
 	t0 := time.Now()
 	class := admit.ClassFrom(ctx)
 
-	key := id
-	var resolved core.Params
-	if len(p) > 0 {
-		exp, ok := core.ByID(id)
-		if !ok {
-			return Response{}, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
-		}
-		var err error
-		if resolved, err = exp.ResolveParams(p); err != nil {
-			return Response{}, fmt.Errorf("%w: %v", ErrBadParams, err)
-		}
-		key = exp.CacheKey(resolved)
+	key, resolved, err := e.resolveKey(id, p)
+	if err != nil {
+		return Response{}, err
 	}
 	// Requests are counted once validation has passed, so the per-class
 	// conservation law (hits+deduped+sheds+executions == requests) holds
@@ -419,16 +446,81 @@ func (e *Engine) ServeWith(ctx context.Context, id string, p core.Params) (Respo
 		}
 	}
 
-	return e.serveMiss(ctx, id, key, resolved, t0)
+	rr, err := e.serveMissRaw(ctx, id, key, resolved, t0)
+	if err != nil {
+		return Response{}, err
+	}
+	res, err := core.DecodeResult(rr.Raw)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{ID: rr.ID, Params: rr.Params, Key: rr.Key, Class: rr.Class,
+		Result: res, CacheHit: rr.CacheHit, Shared: rr.Shared, Latency: rr.Latency}, nil
 }
 
-// serveMiss is ServeWith's path after a cache miss: singleflight-
-// deduplicated execution through the admission scheduler, memoizing on
-// the way out. Exactly one per-class counter bucket is incremented per
-// caller: hit (late leader), deduped (follower, whatever the outcome),
-// execution (leader whose task ran, even to an error), or shed (leader
-// rejected at admission or canceled before start).
-func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t0 time.Time) (Response, error) {
+// ServeEncoded is ServeWith without the decode: the warm path returns
+// the memoized codec bytes straight from the slab (copy-on-read is the
+// caller's choice — the HTTP layer copies exactly once, into the
+// response writer). Semantics, accounting, and QoS envelope handling
+// are identical to ServeWith; only the Result materialization is
+// skipped. See RawResponse for the aliasing rules on the returned
+// bytes.
+func (e *Engine) ServeEncoded(ctx context.Context, id string, p core.Params) (RawResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	class := admit.ClassFrom(ctx)
+
+	key, resolved, err := e.resolveKey(id, p)
+	if err != nil {
+		return RawResponse{}, err
+	}
+	cc := &e.classes[class]
+	cc.requests.Add(1)
+	tb := e.tenantBook(ctx)
+	if tb != nil {
+		tb.requests.Add(1)
+	}
+
+	if raw, ok := e.cache.Get(key); ok {
+		cc.hits.Add(1)
+		if tb != nil {
+			tb.hits.Add(1)
+		}
+		lat := time.Since(t0)
+		e.observe(class, true, lat)
+		return RawResponse{ID: id, Params: resolved, Key: key, Class: class,
+			Raw: raw, CacheHit: true, Latency: lat}, nil
+	}
+	return e.serveMissRaw(ctx, id, key, resolved, t0)
+}
+
+// resolveKey maps (id, params) to the cache key: the bare ID for
+// zero-param requests, the experiment's canonical grid-point key after
+// schema resolution otherwise.
+func (e *Engine) resolveKey(id string, p core.Params) (string, core.Params, error) {
+	if len(p) == 0 {
+		return id, nil, nil
+	}
+	exp, ok := core.ByID(id)
+	if !ok {
+		return "", nil, fmt.Errorf("%w %q", ErrUnknownExperiment, id)
+	}
+	resolved, err := exp.ResolveParams(p)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	return exp.CacheKey(resolved), resolved, nil
+}
+
+// serveMissRaw is the path after a cache miss: singleflight-deduplicated
+// execution through the admission scheduler, memoizing on the way out,
+// returning the encoded payload. Exactly one per-class counter bucket is
+// incremented per caller: hit (late leader), deduped (follower, whatever
+// the outcome), execution (leader whose task ran, even to an error), or
+// shed (leader rejected at admission or canceled before start).
+func (e *Engine) serveMissRaw(ctx context.Context, id, key string, p core.Params, t0 time.Time) (RawResponse, error) {
 	class := admit.ClassFrom(ctx)
 	cc := &e.classes[class]
 	tb := e.tenantBook(ctx)
@@ -478,11 +570,7 @@ func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t
 			map[string]string{"class": class.String(), "reason": reason}, data)
 	}
 	if err != nil {
-		return Response{}, err
-	}
-	res, err := core.DecodeResult(raw)
-	if err != nil {
-		return Response{}, err
+		return RawResponse{}, err
 	}
 	lat := time.Since(t0)
 	if leaderHit && !shared {
@@ -491,11 +579,11 @@ func (e *Engine) serveMiss(ctx context.Context, id, key string, p core.Params, t
 			tb.hits.Add(1)
 		}
 		e.observe(class, true, lat)
-		return Response{ID: id, Params: p, Key: key, Class: class, Result: res,
+		return RawResponse{ID: id, Params: p, Key: key, Class: class, Raw: raw,
 			CacheHit: true, Latency: lat}, nil
 	}
 	e.observe(class, false, lat)
-	return Response{ID: id, Params: p, Key: key, Class: class, Result: res,
+	return RawResponse{ID: id, Params: p, Key: key, Class: class, Raw: raw,
 		Shared: shared, Latency: lat}, nil
 }
 

@@ -200,9 +200,9 @@ func TestEngineLateLeaderServedFromCache(t *testing.T) {
 	// the miss path as a fresh flight leader (exactly what happens when
 	// the first leader's Set lands between Serve's cache probe and
 	// fg.Do).
-	r, err := e.serveMiss(context.Background(), "X1", "X1", nil, time.Now())
+	r, err := e.serveMissRaw(context.Background(), "X1", "X1", nil, time.Now())
 	if err != nil {
-		t.Fatalf("serveMiss: %v", err)
+		t.Fatalf("serveMissRaw: %v", err)
 	}
 	if !r.CacheHit {
 		t.Fatal("late leader must be answered from the cache")

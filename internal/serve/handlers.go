@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/httpapi"
 )
@@ -142,28 +143,52 @@ func (e *Engine) Handler() http.Handler {
 			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
+		format := r.URL.Query().Get("format")
+		switch format {
+		case "", "json", "text", "csv", "bin":
+		default:
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"format must be json, text, csv, or bin")
+			return
+		}
 		ctx, cancel, err := RequestContext(r)
 		if err != nil {
 			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		defer cancel()
-		resp, err := e.ServeWith(ctx, id, params)
-		if err != nil {
-			if WriteShedHeaders(w, err) {
+		if format == "bin" {
+			// The zero-copy transport: serve the memoized codec bytes as
+			// the body (a warm hit is one slab read, no decode/re-encode;
+			// the write below is the single copy-on-read) with the JSON
+			// envelope's fields carried in response headers.
+			rr, err := e.ServeEncoded(ctx, id, params)
+			if err != nil {
+				writeRunError(w, err)
 				return
 			}
-			status, code := http.StatusInternalServerError, httpapi.CodeInternal
-			switch {
-			case errors.Is(err, ErrUnknownExperiment):
-				status, code = http.StatusNotFound, httpapi.CodeNotFound
-			case errors.Is(err, ErrBadParams):
-				status, code = http.StatusBadRequest, httpapi.CodeBadRequest
+			h := w.Header()
+			h.Set("Content-Type", "application/octet-stream")
+			h.Set(httpapi.HeaderKey, rr.Key)
+			h.Set(admit.HeaderClass, rr.Class.String())
+			if rr.CacheHit {
+				h.Set(httpapi.HeaderCacheHit, "1")
 			}
-			httpapi.WriteError(w, status, code, err.Error())
+			if rr.Shared {
+				h.Set(httpapi.HeaderShared, "1")
+			}
+			for _, a := range rr.Params.Assignments() {
+				h.Add(httpapi.HeaderParam, a)
+			}
+			_, _ = w.Write(rr.Raw)
 			return
 		}
-		switch r.URL.Query().Get("format") {
+		resp, err := e.ServeWith(ctx, id, params)
+		if err != nil {
+			writeRunError(w, err)
+			return
+		}
+		switch format {
 		case "", "json":
 			writeJSON(w, http.StatusOK, runEnvelope{
 				ID:        resp.ID,
@@ -188,9 +213,6 @@ func (e *Engine) Handler() http.Handler {
 			case resp.Result.Figure != nil:
 				_, _ = w.Write([]byte(resp.Result.Figure.CSV()))
 			}
-		default:
-			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
-				"format must be json, text, or csv")
 		}
 	})
 	httpapi.MountFunc(mux, "GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -202,6 +224,23 @@ func (e *Engine) Handler() http.Handler {
 	httpapi.Mount(mux, "GET /events", e.Events().Handler())
 	httpapi.Mount(mux, "POST /control", e.ControlHandler())
 	return mux
+}
+
+// writeRunError maps a /run serving error onto the wire: QoS sheds get
+// their dedicated statuses (503/429/504 + Retry-After), unknown IDs 404,
+// bad params 400, everything else 500 — all in the shared envelope.
+func writeRunError(w http.ResponseWriter, err error) {
+	if WriteShedHeaders(w, err) {
+		return
+	}
+	status, code := http.StatusInternalServerError, httpapi.CodeInternal
+	switch {
+	case errors.Is(err, ErrUnknownExperiment):
+		status, code = http.StatusNotFound, httpapi.CodeNotFound
+	case errors.Is(err, ErrBadParams):
+		status, code = http.StatusBadRequest, httpapi.CodeBadRequest
+	}
+	httpapi.WriteError(w, status, code, err.Error())
 }
 
 // WriteJSON writes v as an indented JSON response — kept as a

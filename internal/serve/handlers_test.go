@@ -157,3 +157,64 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("cache stats: %+v", m.Cache)
 	}
 }
+
+// The binary transport: the body is the memoized codec payload verbatim
+// (decodable into the same Result JSON would describe) and the envelope
+// fields ride in X-Arch21-* response headers.
+func TestRunEndpointBinaryFormat(t *testing.T) {
+	_, srv := newTestServer(t)
+	// Warm the entry, then fetch it as bin: the hit must be flagged in
+	// the header and the body must decode to the memoized result.
+	if resp, _ := get(t, srv.URL+"/run/X1?format=bin"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold bin GET: %d", resp.StatusCode)
+	}
+	resp, body := get(t, srv.URL+"/run/X1?format=bin")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm bin GET: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if resp.Header.Get("X-Arch21-Cache-Hit") != "1" {
+		t.Fatal("warm bin GET not flagged as cache hit")
+	}
+	if got := resp.Header.Get("X-Arch21-Key"); got != "X1" {
+		t.Fatalf("key header = %q, want X1", got)
+	}
+	res, err := core.DecodeResult([]byte(body))
+	if err != nil {
+		t.Fatalf("bin body does not decode: %v", err)
+	}
+	if res.Render() != fakeResult("X1").Render() {
+		t.Fatal("bin body decodes to a different result")
+	}
+}
+
+func TestRunEndpointBinaryParamsHeader(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, _ := get(t, srv.URL+"/run/E7?format=bin&param=bces=512")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bin GET with params: %d", resp.StatusCode)
+	}
+	params, err := core.ParseParams(resp.Header.Values("X-Arch21-Param"))
+	if err != nil {
+		t.Fatalf("param headers do not parse: %v", err)
+	}
+	if params["bces"] != 512 {
+		t.Fatalf("params from headers = %v, want bces=512 present", params)
+	}
+	if key := resp.Header.Get("X-Arch21-Key"); !strings.Contains(key, "bces=512") {
+		t.Fatalf("key header %q does not carry the resolved assignment", key)
+	}
+}
+
+func TestRunEndpointRejectsUnknownFormat(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := get(t, srv.URL+"/run/X1?format=yaml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(body, "format must be") {
+		t.Fatalf("unknown-format error body: %s", body)
+	}
+}

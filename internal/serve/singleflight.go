@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent calls by key: while one execution for
 // a key is in flight, later callers for the same key block and share its
@@ -34,12 +37,23 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// Cleanup must run even when fn panics: without it the flightCall
+	// would stay in the map with its WaitGroup never Done, wedging every
+	// later request for the key forever. The panic is converted to an
+	// error shared with the waiters, and the leader returns it instead
+	// of unwinding past the cleanup.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("serve: singleflight: panic in flight for %q: %v", key, r)
+			c.val = nil
+			val, err = nil, c.err
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+
 	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
-
 	return c.val, c.err, false
 }
