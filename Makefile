@@ -27,7 +27,7 @@ race:
 # package's policy/class lists, §9 drifts from the obs metric registries
 # or event vocabulary, or a package loses its godoc comment.
 docs-check:
-	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestRoutingDocsCoverHedging|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs|TestSlabCacheDocs' -v .
+	$(GO) test -run 'TestRegistryMatchesDesignDoc|TestParamDefaultsValidate|TestEveryPackageHasGodoc|TestReplicaDocsCoverRouter|TestRoutingDocsCoverHedging|TestQoSDocsCoverAdmit|TestObservabilityDocsCoverObs|TestAdversarialWorkloadDocs|TestSlabCacheDocs|TestBatchedDataPlaneDocs' -v .
 
 # check is what CI runs.
 check: fmt-check vet build docs-check race
@@ -58,20 +58,24 @@ loadtest-colocation:
 	$(GO) run ./cmd/arch21 loadtest -scenario colocation -duration 2s -maxprocs 1 -lc-slo 50ms -json BENCH_colocation.json
 
 # bench-baseline refreshes the committed perf baseline CI's bench-smoke
-# job gates against: warm-hammer plus the routed cluster-scatter
-# scenario, merged into one two-report file (-maxprocs 1 matches the CI
-# measurement, so the throughput gate engages across machines). Run it
-# on an idle machine, eyeball the diff, and commit the result.
+# job gates against: warm-hammer, warm-hammer-4c, and the routed
+# cluster-scatter scenario, merged into one three-report file
+# (-maxprocs 1 matches the CI measurement for the single-core pair;
+# warm-hammer-4c pins its own GOMAXPROCS=4 via the scenario's Cores
+# field, so its gate engages at equal core counts too). Run it on an
+# idle machine, eyeball the diff, and commit the result.
 bench-baseline:
 	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer -duration 2s -maxprocs 1 -json BENCH_baseline.json
+	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer-4c -duration 2s -json BENCH_baseline.json -append
 	$(GO) run ./cmd/arch21 loadtest -scenario cluster-scatter -replicas 3 -duration 2s -maxprocs 1 -json BENCH_baseline.json -append
 
-# bench-check mirrors CI's bench-smoke gate locally (both gated
+# bench-check mirrors CI's bench-smoke gate locally (all gated
 # scenarios).
 bench-check:
 	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer -duration 2s -maxprocs 1 -json /tmp/bench.json
+	$(GO) run ./cmd/arch21 loadtest -scenario warm-hammer-4c -duration 2s -json /tmp/bench-4c.json
 	$(GO) run ./cmd/arch21 loadtest -scenario cluster-scatter -replicas 3 -duration 2s -maxprocs 1 -json /tmp/bench-scatter.json
-	$(GO) run ./cmd/arch21 benchcmp -tolerance 0.25 BENCH_baseline.json /tmp/bench.json /tmp/bench-scatter.json
+	$(GO) run ./cmd/arch21 benchcmp -tolerance 0.25 BENCH_baseline.json /tmp/bench.json /tmp/bench-4c.json /tmp/bench-scatter.json
 
 # cover prints total statement coverage (CI enforces the floor).
 cover:
@@ -107,6 +111,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeResult -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run xxx -fuzz FuzzParseRateSchedule -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run xxx -fuzz FuzzBatchFrame -fuzztime $(FUZZTIME) ./internal/httpapi
 
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s

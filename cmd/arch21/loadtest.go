@@ -81,6 +81,11 @@ func cmdLoadtest(args []string) {
 	}
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
+	} else if sc.Cores > 0 {
+		// Core-pinned scenarios (warm-hammer-4c) fix their own
+		// parallelism so reports are comparable across machines; an
+		// explicit -maxprocs still wins.
+		runtime.GOMAXPROCS(sc.Cores)
 	}
 
 	if *httpAddr != "" && *replicas > 0 {

@@ -512,6 +512,88 @@ func TestSlabCacheDocs(t *testing.T) {
 	}
 }
 
+// The batched-data-plane docs cannot drift: DESIGN.md §4 must document
+// the batch frame format with the exact magics, version, and bounds the
+// codec exports, plus the fuzz target; §7 must document the coalescing
+// queue with the exact flush-reason vocabulary the router exports (both
+// directions — every exported reason must be documented, and the
+// documented metric families are already pinned both ways against the
+// live registries by TestObservabilityDocsCoverObs); README's replica
+// walkthrough must carry the cluster-throughput section.
+func TestBatchedDataPlaneDocs(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(design)
+	s4 := strings.Index(doc, "## §4")
+	s5 := strings.Index(doc, "## §5")
+	if s4 < 0 || s5 < 0 || s5 <= s4 {
+		t.Fatal("DESIGN.md lost its §4/§5 structure")
+	}
+	sec4 := strings.Join(strings.Fields(doc[s4:s5]), " ")
+	for _, want := range []string{
+		"POST /v1/batch",
+		"`" + httpapi.BatchRequestMagic + "`",
+		"`" + httpapi.BatchResponseMagic + "`",
+		"httpapi.BatchVersion", "outcome word",
+		"httpapi.MaxBatchEntries", "httpapi.MaxBatchBytes",
+		"ErrBatchFrame", "httpapi.GetBuffer", "FuzzBatchFrame",
+	} {
+		if !strings.Contains(sec4, want) {
+			t.Errorf("DESIGN.md §4 no longer documents %q", want)
+		}
+	}
+
+	s7 := strings.Index(doc, "## §7")
+	if s7 < 0 {
+		t.Fatal("DESIGN.md has no §7")
+	}
+	sec7 := strings.Join(strings.Fields(doc[s7:]), " ")
+	for _, reason := range router.FlushReasonNames() {
+		if !strings.Contains(sec7, "`"+reason+"`") {
+			t.Errorf("DESIGN.md §7 does not document flush reason %q", reason)
+		}
+	}
+	for _, want := range []string{
+		"coalescing queue", "router.BatchBackend", "ServeEncodedBatch",
+		"arch21_batch_flushes_total", "router.FlushReasonNames()",
+		"arch21_batched_requests_total", "arch21_batch_size",
+		"sweep.BatchServer", "exactly-once",
+	} {
+		if !strings.Contains(sec7, want) {
+			t.Errorf("DESIGN.md §7 no longer documents %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	rdoc := string(readme)
+	start := strings.Index(rdoc, "## Running a replica set")
+	if start < 0 {
+		t.Fatal("README.md has no \"Running a replica set\" walkthrough")
+	}
+	end := strings.Index(rdoc[start:], "\n## Benchmarks")
+	if end < 0 {
+		t.Fatal("README replica walkthrough lost its section boundary")
+	}
+	sec := strings.Join(strings.Fields(rdoc[start:start+end]), " ")
+	for _, want := range []string{
+		"### Cluster throughput", "/v1/batch",
+		"`" + httpapi.BatchRequestMagic + "`",
+		"`" + httpapi.BatchResponseMagic + "`",
+		"outcome word", "coalesce",
+		"arch21_batched_requests_total", "arch21_batch_flushes_total",
+		"arch21_batch_size", "cluster-scatter",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Errorf("README cluster-throughput walkthrough no longer documents %q", want)
+		}
+	}
+}
+
 // Every internal package carries a package-level godoc comment
 // ("// Package <name> ..."), and every command a "// Command <name> ..."
 // one.

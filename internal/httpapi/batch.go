@@ -1,0 +1,331 @@
+package httpapi
+
+// The multi-request wire contract behind POST /batch: one varint-framed
+// request body carrying many (experiment, assignment, class) entries,
+// answered by one varint-framed response carrying a per-entry outcome
+// word plus either the memoized result payload (served zero-copy from
+// the replica's slab) or an (HTTP status, message) error. The frame
+// replaces the per-request X-Arch21-* response headers: a batch of 64
+// warm hits costs one HTTP round trip and one header block instead of
+// 64, which is what lets routed throughput track engine throughput (the
+// "communication dominates computation" amortization the batched data
+// plane exists for).
+//
+// Both decoders follow core.DecodeResult's hardening discipline: every
+// length is clamped against the bytes actually remaining before any
+// allocation (a hostile count cannot pre-allocate gigabytes), and a
+// payload with trailing bytes after the last entry is rejected as
+// corrupt rather than silently accepted. FuzzBatchFrame drives both.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/admit"
+)
+
+// Frame magics: four bytes + a version byte open every batch payload, so
+// a frame fed to the wrong decoder (or a truncated/garbage body) fails
+// immediately and loudly instead of mis-parsing.
+const (
+	// BatchRequestMagic opens a batch request frame.
+	BatchRequestMagic = "A21B"
+	// BatchResponseMagic opens a batch response frame.
+	BatchResponseMagic = "A21R"
+	// BatchVersion is the frame version both magics carry.
+	BatchVersion = 1
+)
+
+// MaxBatchEntries bounds one frame's entry count — same order as
+// sweep.MaxPoints, so a whole sweep grid fits in frames but a hostile
+// count cannot queue unbounded work from one body.
+const MaxBatchEntries = 4096
+
+// MaxBatchBytes bounds a batch request body (http.MaxBytesReader cap in
+// the handlers).
+const MaxBatchBytes = 8 << 20
+
+// ErrBatchFrame marks a batch frame that failed to decode.
+var ErrBatchFrame = errors.New("httpapi: bad batch frame")
+
+// BatchEntry is one request in a batch frame: the experiment ID, the
+// QoS class the entry is served and accounted under, and the parameter
+// assignments in "name=value" wire form (the same strings the ?param
+// query key and X-Arch21-Param header carry).
+type BatchEntry struct {
+	ID     string
+	Class  admit.Class
+	Params []string
+}
+
+// BatchResult is one entry's outcome in a batch response frame. OK
+// entries carry the cache key and the raw core.Result codec payload;
+// failed entries carry the HTTP status and message the entry would have
+// answered with as a single request, so the caller can apply exactly
+// the per-status semantics (shed vs client error vs replica failure) it
+// applies to single-request responses.
+type BatchResult struct {
+	OK       bool
+	CacheHit bool
+	Shared   bool
+	// Key and Payload are set when OK. Payload aliases the decoded
+	// buffer — callers must not modify it and must copy it to outlive
+	// the buffer.
+	Key     string
+	Payload []byte
+	// Status and Msg are set when !OK.
+	Status int
+	Msg    string
+}
+
+// Outcome word bit layout (one byte per entry).
+const (
+	batchOK       = 0x01
+	batchCacheHit = 0x02
+	batchShared   = 0x04
+)
+
+// bufPool recycles batch encode/decode scratch buffers across requests;
+// the routed hot loop would otherwise allocate a fresh frame buffer per
+// flush. Buffers are passed as *[]byte so the pool never allocates on
+// Put (staticcheck SA6002).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// GetBuffer takes a reusable byte buffer from the shared pool. The
+// caller appends into (*buf)[:0] and must return it with PutBuffer once
+// nothing aliases it.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer returns a GetBuffer buffer to the pool. Callers must be
+// sure no decoded view (BatchResult.Payload, BatchEntry fields) still
+// aliases it.
+func PutBuffer(buf *[]byte) { bufPool.Put(buf) }
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// AppendBatchRequest appends the request frame for entries to dst and
+// returns the extended slice.
+func AppendBatchRequest(dst []byte, entries []BatchEntry) []byte {
+	dst = append(dst, BatchRequestMagic...)
+	dst = append(dst, BatchVersion)
+	dst = appendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = appendUvarint(dst, uint64(len(e.ID)))
+		dst = append(dst, e.ID...)
+		dst = append(dst, byte(e.Class))
+		dst = appendUvarint(dst, uint64(len(e.Params)))
+		for _, p := range e.Params {
+			dst = appendUvarint(dst, uint64(len(p)))
+			dst = append(dst, p...)
+		}
+	}
+	return dst
+}
+
+// AppendBatchResponse appends the response frame for results to dst and
+// returns the extended slice.
+func AppendBatchResponse(dst []byte, results []BatchResult) []byte {
+	dst = append(dst, BatchResponseMagic...)
+	dst = append(dst, BatchVersion)
+	dst = appendUvarint(dst, uint64(len(results)))
+	for _, r := range results {
+		var word byte
+		if r.OK {
+			word |= batchOK
+		}
+		if r.CacheHit {
+			word |= batchCacheHit
+		}
+		if r.Shared {
+			word |= batchShared
+		}
+		dst = append(dst, word)
+		if r.OK {
+			dst = appendUvarint(dst, uint64(len(r.Key)))
+			dst = append(dst, r.Key...)
+			dst = appendUvarint(dst, uint64(len(r.Payload)))
+			dst = append(dst, r.Payload...)
+		} else {
+			dst = appendUvarint(dst, uint64(r.Status))
+			dst = appendUvarint(dst, uint64(len(r.Msg)))
+			dst = append(dst, r.Msg...)
+		}
+	}
+	return dst
+}
+
+// frameReader walks one frame with clamped reads.
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+func (fr *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(fr.buf[fr.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at offset %d", ErrBatchFrame, fr.off)
+	}
+	fr.off += n
+	return v, nil
+}
+
+// chunk reads one length-prefixed byte run, clamping the claimed length
+// against the bytes actually remaining before touching them.
+func (fr *frameReader) chunk() ([]byte, error) {
+	n, err := fr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(fr.buf)-fr.off) {
+		return nil, fmt.Errorf("%w: truncated chunk at offset %d", ErrBatchFrame, fr.off)
+	}
+	c := fr.buf[fr.off : fr.off+int(n)]
+	fr.off += int(n)
+	return c, nil
+}
+
+func (fr *frameReader) byte() (byte, error) {
+	if fr.off >= len(fr.buf) {
+		return 0, fmt.Errorf("%w: truncated at offset %d", ErrBatchFrame, fr.off)
+	}
+	b := fr.buf[fr.off]
+	fr.off++
+	return b, nil
+}
+
+// header checks the magic + version prologue and the entry count.
+func (fr *frameReader) header(magic string) (int, error) {
+	if len(fr.buf) < len(magic)+1 || string(fr.buf[:len(magic)]) != magic {
+		return 0, fmt.Errorf("%w: missing %s magic", ErrBatchFrame, magic)
+	}
+	if v := fr.buf[len(magic)]; v != BatchVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBatchFrame, v)
+	}
+	fr.off = len(magic) + 1
+	count, err := fr.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if count > MaxBatchEntries {
+		return 0, fmt.Errorf("%w: %d entries exceeds the %d cap", ErrBatchFrame, count, MaxBatchEntries)
+	}
+	return int(count), nil
+}
+
+// clampPrealloc bounds a pre-allocation by what the remaining bytes
+// could possibly encode (every entry costs at least minBytes), so a
+// hostile count cannot allocate ahead of the data backing it.
+func (fr *frameReader) clampPrealloc(count, minBytes int) int {
+	if rem := (len(fr.buf) - fr.off) / minBytes; count > rem {
+		return rem
+	}
+	return count
+}
+
+// DecodeBatchRequest parses a request frame. Decoded strings are copies;
+// the input buffer may be reused (pooled) once the call returns.
+func DecodeBatchRequest(buf []byte) ([]BatchEntry, error) {
+	fr := &frameReader{buf: buf}
+	count, err := fr.header(BatchRequestMagic)
+	if err != nil {
+		return nil, err
+	}
+	// Minimum entry: 1-byte ID length + 1-byte class + 1-byte param count.
+	entries := make([]BatchEntry, 0, fr.clampPrealloc(count, 3))
+	for i := 0; i < count; i++ {
+		id, err := fr.chunk()
+		if err != nil {
+			return nil, err
+		}
+		cb, err := fr.byte()
+		if err != nil {
+			return nil, err
+		}
+		if int(cb) >= len(admit.Classes()) {
+			return nil, fmt.Errorf("%w: entry %d: unknown class byte %d", ErrBatchFrame, i, cb)
+		}
+		np, err := fr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if np > uint64(len(fr.buf)-fr.off) { // each param costs >= 1 byte
+			return nil, fmt.Errorf("%w: entry %d: truncated params", ErrBatchFrame, i)
+		}
+		var params []string
+		if np > 0 {
+			params = make([]string, 0, np)
+			for j := uint64(0); j < np; j++ {
+				p, err := fr.chunk()
+				if err != nil {
+					return nil, err
+				}
+				params = append(params, string(p))
+			}
+		}
+		entries = append(entries, BatchEntry{ID: string(id), Class: admit.Class(cb), Params: params})
+	}
+	if fr.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d entries", ErrBatchFrame, len(buf)-fr.off, count)
+	}
+	return entries, nil
+}
+
+// DecodeBatchResponse parses a response frame. Key and Msg are copies;
+// Payload aliases buf, so buf must outlive every use of the results (the
+// HTTP client path reads the body into a fresh, non-pooled buffer for
+// exactly this reason).
+func DecodeBatchResponse(buf []byte) ([]BatchResult, error) {
+	fr := &frameReader{buf: buf}
+	count, err := fr.header(BatchResponseMagic)
+	if err != nil {
+		return nil, err
+	}
+	// Minimum entry: 1-byte word + two 1-byte varints.
+	results := make([]BatchResult, 0, fr.clampPrealloc(count, 3))
+	for i := 0; i < count; i++ {
+		word, err := fr.byte()
+		if err != nil {
+			return nil, err
+		}
+		r := BatchResult{
+			OK:       word&batchOK != 0,
+			CacheHit: word&batchCacheHit != 0,
+			Shared:   word&batchShared != 0,
+		}
+		if r.OK {
+			key, err := fr.chunk()
+			if err != nil {
+				return nil, err
+			}
+			payload, err := fr.chunk()
+			if err != nil {
+				return nil, err
+			}
+			r.Key, r.Payload = string(key), payload
+		} else {
+			status, err := fr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if status < 400 || status > 599 {
+				return nil, fmt.Errorf("%w: entry %d: error status %d outside 400..599", ErrBatchFrame, i, status)
+			}
+			msg, err := fr.chunk()
+			if err != nil {
+				return nil, err
+			}
+			r.Status, r.Msg = int(status), string(msg)
+		}
+		results = append(results, r)
+	}
+	if fr.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d entries", ErrBatchFrame, len(buf)-fr.off, count)
+	}
+	return results, nil
+}

@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/admit"
+)
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	entries := []BatchEntry{
+		{ID: "E7", Class: admit.Interactive, Params: []string{"f=0.95", "bces=64"}},
+		{ID: "E1", Class: admit.Batch, Params: nil},
+		{ID: "", Class: admit.Batch, Params: []string{""}},
+	}
+	frame := AppendBatchRequest(nil, entries)
+	got, err := DecodeBatchRequest(frame)
+	if err != nil {
+		t.Fatalf("DecodeBatchRequest: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		g := got[i]
+		if g.ID != e.ID || g.Class != e.Class || len(g.Params) != len(e.Params) {
+			t.Fatalf("entry %d: got %+v, want %+v", i, g, e)
+		}
+		for j := range e.Params {
+			if g.Params[j] != e.Params[j] {
+				t.Fatalf("entry %d param %d: got %q, want %q", i, j, g.Params[j], e.Params[j])
+			}
+		}
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	results := []BatchResult{
+		{OK: true, CacheHit: true, Key: "E7?bces=64&f=0.95", Payload: []byte{1, 2, 3}},
+		{OK: true, Shared: true, Key: "E1", Payload: nil},
+		{Status: 404, Msg: "unknown experiment"},
+		{Status: 503, Msg: ""},
+	}
+	frame := AppendBatchResponse(nil, results)
+	got, err := DecodeBatchResponse(frame)
+	if err != nil {
+		t.Fatalf("DecodeBatchResponse: %v", err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("got %d results, want %d", len(got), len(results))
+	}
+	for i, r := range results {
+		g := got[i]
+		if g.OK != r.OK || g.CacheHit != r.CacheHit || g.Shared != r.Shared ||
+			g.Key != r.Key || g.Status != r.Status || g.Msg != r.Msg ||
+			!bytes.Equal(g.Payload, r.Payload) {
+			t.Fatalf("result %d: got %+v, want %+v", i, g, r)
+		}
+	}
+}
+
+func TestBatchRequestRejectsTrailingBytes(t *testing.T) {
+	frame := AppendBatchRequest(nil, []BatchEntry{{ID: "E7"}})
+	if _, err := DecodeBatchRequest(append(frame, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	frame = AppendBatchResponse(nil, []BatchResult{{OK: true, Key: "k"}})
+	if _, err := DecodeBatchResponse(append(frame, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestBatchRequestRejectsBadFrames(t *testing.T) {
+	good := AppendBatchRequest(nil, []BatchEntry{{ID: "E7", Params: []string{"f=0.9"}}})
+	cases := map[string][]byte{
+		"empty":         nil,
+		"short":         []byte("A2"),
+		"wrong magic":   []byte("A21Rxxxx"),
+		"bad version":   append([]byte(BatchRequestMagic), 99),
+		"truncated":     good[:len(good)-2],
+		"hostile count": append(append([]byte(BatchRequestMagic), BatchVersion), 0xFF, 0xFF, 0xFF, 0x7F),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeBatchRequest(frame); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// A class byte outside the admit vocabulary must be rejected, not
+	// silently folded into a class.
+	bad := append([]byte(BatchRequestMagic), BatchVersion)
+	bad = appendUvarint(bad, 1)
+	bad = appendUvarint(bad, 2)
+	bad = append(bad, "E7"...)
+	bad = append(bad, 7) // class byte
+	bad = appendUvarint(bad, 0)
+	if _, err := DecodeBatchRequest(bad); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Errorf("bad class byte: err = %v, want class rejection", err)
+	}
+}
+
+func TestBatchResponseRejectsBadStatus(t *testing.T) {
+	frame := append([]byte(BatchResponseMagic), BatchVersion)
+	frame = appendUvarint(frame, 1)
+	frame = append(frame, 0)          // word: !OK
+	frame = appendUvarint(frame, 200) // not an error status
+	frame = appendUvarint(frame, 0)
+	if _, err := DecodeBatchResponse(frame); err == nil {
+		t.Fatal("status 200 on an error entry accepted")
+	}
+}
+
+// FuzzBatchFrame drives both frame decoders over arbitrary bytes: no
+// panic, no runaway allocation, and — the codec invariant — anything
+// that decodes must survive an encode/decode round trip unchanged.
+// (Byte-exact canonicality is not asserted: binary.Uvarint accepts
+// non-minimal varints the encoder never emits.)
+func FuzzBatchFrame(f *testing.F) {
+	f.Add(AppendBatchRequest(nil, []BatchEntry{
+		{ID: "E7", Class: admit.Interactive, Params: []string{"f=0.95", "bces=64"}},
+		{ID: "E1", Class: admit.Batch},
+	}))
+	f.Add(AppendBatchResponse(nil, []BatchResult{
+		{OK: true, CacheHit: true, Key: "E7", Payload: []byte{9, 9}},
+		{Status: 503, Msg: "queue full"},
+	}))
+	f.Add([]byte(BatchRequestMagic))
+	f.Add([]byte(BatchResponseMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if entries, err := DecodeBatchRequest(data); err == nil {
+			again, err := DecodeBatchRequest(AppendBatchRequest(nil, entries))
+			if err != nil {
+				t.Fatalf("re-encoded request frame failed to decode: %v", err)
+			}
+			if len(again) != len(entries) {
+				t.Fatalf("round trip changed entry count: %d -> %d", len(entries), len(again))
+			}
+			for i := range entries {
+				if again[i].ID != entries[i].ID || again[i].Class != entries[i].Class ||
+					strings.Join(again[i].Params, "\x00") != strings.Join(entries[i].Params, "\x00") {
+					t.Fatalf("entry %d changed in round trip: %+v -> %+v", i, entries[i], again[i])
+				}
+			}
+		}
+		if results, err := DecodeBatchResponse(data); err == nil {
+			again, err := DecodeBatchResponse(AppendBatchResponse(nil, results))
+			if err != nil {
+				t.Fatalf("re-encoded response frame failed to decode: %v", err)
+			}
+			if len(again) != len(results) {
+				t.Fatalf("round trip changed result count: %d -> %d", len(results), len(again))
+			}
+			for i := range results {
+				if again[i].OK != results[i].OK || again[i].Key != results[i].Key ||
+					again[i].Status != results[i].Status || again[i].Msg != results[i].Msg ||
+					!bytes.Equal(again[i].Payload, results[i].Payload) {
+					t.Fatalf("result %d changed in round trip: %+v -> %+v", i, results[i], again[i])
+				}
+			}
+		}
+	})
+}

@@ -129,6 +129,11 @@ type Scenario struct {
 	// per class — the colocation experiment that proves (or disproves)
 	// that batch pressure moves interactive tail latency.
 	Batch *BatchStorm
+	// Cores, when positive, pins GOMAXPROCS for the run (unless an
+	// explicit -maxprocs overrides it), so the scenario measures a fixed
+	// parallelism and Compare gates it against baselines from the same
+	// core count instead of skipping the throughput check.
+	Cores int
 }
 
 // BatchStorm is the concurrent batch-class half of a colocation
@@ -243,6 +248,11 @@ func Scenarios() []Scenario {
 			Name: "warm-hammer",
 			Doc:  "closed-loop hammer on a small hot set, cache pre-warmed: steady-state hit-path throughput and tail",
 			Mode: ClosedLoop, Variants: warm, Skew: 1.1, Clients: 8, Warm: true, Seed: 1,
+		},
+		{
+			Name: "warm-hammer-4c",
+			Doc:  "the warm-hammer shape pinned to four cores: multi-core steady-state hit-path scaling, comparable across machines with >= 4 cores",
+			Mode: ClosedLoop, Variants: warm, Skew: 1.1, Clients: 8, Warm: true, Seed: 12, Cores: 4,
 		},
 		{
 			Name: "cold-storm",

@@ -58,8 +58,8 @@ func (s *stubTarget) count(k string) int {
 // the core registry.
 func TestScenarioCatalogResolves(t *testing.T) {
 	scs := Scenarios()
-	if len(scs) != 11 {
-		t.Fatalf("catalog has %d scenarios, want 11", len(scs))
+	if len(scs) != 12 {
+		t.Fatalf("catalog has %d scenarios, want 12", len(scs))
 	}
 	seen := map[string]bool{}
 	for _, sc := range scs {

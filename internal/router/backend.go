@@ -32,6 +32,17 @@ type Backend interface {
 	Name() string
 }
 
+// BatchBackend is the optional multi-get capability the batched data
+// plane routes through: serve many items against one replica in a
+// single exchange. Outcomes come back in item order, one per item, and
+// one item's failure never fails its siblings — transport-level
+// failures (the whole exchange lost) are the returned error instead.
+// Backends without it (test doubles, old replicas) are served through
+// the classic per-request path.
+type BatchBackend interface {
+	DoBatch(ctx context.Context, items []serve.BatchItem) ([]serve.BatchOutcome, error)
+}
+
 // EngineBackend is an in-process serve.Engine shard.
 type EngineBackend struct {
 	eng  *serve.Engine
@@ -47,6 +58,12 @@ func NewEngineBackend(eng *serve.Engine, name string) *EngineBackend {
 // Do implements Backend.
 func (b *EngineBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	return b.eng.ServeWith(ctx, id, p)
+}
+
+// DoBatch implements BatchBackend straight through the engine's
+// multi-get surface.
+func (b *EngineBackend) DoBatch(ctx context.Context, items []serve.BatchItem) ([]serve.BatchOutcome, error) {
+	return b.eng.ServeEncodedBatch(ctx, items), nil
 }
 
 // Check implements Backend; an in-process engine is alive by definition.
@@ -158,12 +175,21 @@ const hopBudget = 5 * time.Millisecond
 // instead of each hop granting itself a fresh one.
 func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.Response, error) {
 	t0 := time.Now()
-	q := url.Values{}
-	q.Set("format", "bin")
+	// The URL is assembled into a pooled buffer: url.Values + Encode
+	// costs a map plus several slices per request, and this is the
+	// routed hot loop.
+	ub := httpapi.GetBuffer()
+	ubuf := append((*ub)[:0], b.base...)
+	ubuf = append(ubuf, "/run/"...)
+	ubuf = append(ubuf, url.PathEscape(id)...)
+	ubuf = append(ubuf, "?format=bin"...)
 	for _, a := range p.Assignments() {
-		q.Add("param", a)
+		ubuf = append(ubuf, "&param="...)
+		ubuf = append(ubuf, url.QueryEscape(a)...)
 	}
-	u := b.base + "/run/" + url.PathEscape(id) + "?" + q.Encode()
+	u := string(ubuf)
+	*ub = ubuf
+	httpapi.PutBuffer(ub)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return serve.Response{}, fmt.Errorf("router: %s: %v", b.base, err)
@@ -210,6 +236,87 @@ func (b *HTTPBackend) Do(ctx context.Context, id string, p core.Params) (serve.R
 		Result:   res,
 		Latency:  time.Since(t0),
 	}, nil
+}
+
+// DoBatch implements BatchBackend over the wire: POST /v1/batch with
+// the varint request frame (encoded into a pooled buffer) and decode
+// the per-entry outcome frame. The response body is read into a fresh
+// buffer — never pooled — because every OK entry's payload aliases it
+// for the rest of the outcomes' lifetime. Entry-level errors surface as
+// statusError values so the router's verdict taxonomy (client error vs
+// shed vs replica failure) applies per entry exactly as it would to a
+// single routed request.
+func (b *HTTPBackend) DoBatch(ctx context.Context, items []serve.BatchItem) ([]serve.BatchOutcome, error) {
+	t0 := time.Now()
+	entries := make([]httpapi.BatchEntry, len(items))
+	for i, it := range items {
+		entries[i] = httpapi.BatchEntry{ID: it.ID, Class: it.Class, Params: it.Params.Assignments()}
+	}
+	fb := httpapi.GetBuffer()
+	frame := httpapi.AppendBatchRequest((*fb)[:0], entries)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/batch",
+		bytes.NewReader(frame))
+	if err != nil {
+		*fb = frame
+		httpapi.PutBuffer(fb)
+		return nil, fmt.Errorf("router: %s: %v", b.base, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if err := httpapi.Forward(req, ctx, hopBudget); err != nil {
+		*fb = frame
+		httpapi.PutBuffer(fb)
+		return nil, err
+	}
+	resp, err := b.client.Do(req)
+	// Do returns only after the request body has been fully consumed (or
+	// abandoned), so the frame buffer is safe to recycle here.
+	*fb = frame
+	httpapi.PutBuffer(fb)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("router: %s: %w", b.base, err)
+	}
+	defer httpapi.DrainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("router: %s /batch: %w", b.base,
+			&statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(body)),
+				retryAfter: resp.Header.Get("Retry-After")})
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("router: %s: reading batch body: %v", b.base, err)
+	}
+	results, err := httpapi.DecodeBatchResponse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("router: %s: bad batch frame: %v", b.base, err)
+	}
+	if len(results) != len(items) {
+		return nil, fmt.Errorf("router: %s: batch returned %d outcomes for %d items",
+			b.base, len(results), len(items))
+	}
+	elapsed := time.Since(t0)
+	out := make([]serve.BatchOutcome, len(items))
+	for i, res := range results {
+		if !res.OK {
+			out[i].Err = fmt.Errorf("router: %s /batch entry %s: %w", b.base, items[i].ID,
+				&statusError{status: res.Status, msg: res.Msg})
+			continue
+		}
+		out[i].RawResponse = serve.RawResponse{
+			ID:       items[i].ID,
+			Params:   items[i].Params,
+			Key:      res.Key,
+			Class:    items[i].Class,
+			Raw:      res.Payload,
+			CacheHit: res.CacheHit,
+			Shared:   res.Shared,
+			Latency:  elapsed,
+		}
+	}
+	return out, nil
 }
 
 // Control implements Controller: POST the raw body to the replica's

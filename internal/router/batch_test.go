@@ -1,0 +1,307 @@
+package router
+
+// Tests for the batched data plane: coalescing (batch class always,
+// interactive only behind a warmed, fast scoreboard, deadlines never),
+// the wire client (HTTPBackend.DoBatch against a live replica handler),
+// and the front-end's POST /batch route.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/httpapi"
+	"repro/internal/serve"
+)
+
+// Batch-class requests coalesce from the first request: concurrent
+// ServeEncoded calls are served through flushed frames, every outcome
+// is correct, and the engines' books balance (a coalesced request is
+// one engine request, nothing double-counted).
+func TestServeEncodedCoalescesBatchClass(t *testing.T) {
+	r, engines := newRegistryCluster(t, 2, "", Config{})
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	ctx := admit.WithClass(context.Background(), admit.Batch)
+	const n = 48
+	ids := []string{"E7", "E1", "E2", "E4"}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr, err := r.ServeEncoded(ctx, ids[i%len(ids)], nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := rr.Result(); err != nil {
+				errs[i] = fmt.Errorf("bad payload: %w", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := r.batched.Load(); got == 0 {
+		t.Fatal("no request was served through a coalesced flush")
+	}
+	if r.requests.Load() != n {
+		t.Fatalf("router counted %d requests, want %d", r.requests.Load(), n)
+	}
+	var engReqs, engSum int64
+	for _, e := range engines {
+		m := e.Metrics()
+		engReqs += m.Requests
+		engSum += m.CacheHits + m.Deduped + m.Sheds + m.Executions
+	}
+	if engReqs != n || engSum != n {
+		t.Fatalf("engine books: requests=%d balanced=%d, want %d/%d", engReqs, engSum, n, n)
+	}
+	var flushes int64
+	for i := 0; i < flushReasons; i++ {
+		flushes += r.batchFlushes[i].Load()
+	}
+	if flushes == 0 {
+		t.Fatal("no flush was recorded")
+	}
+	if snap := r.batchSize.Snapshot(); snap.Count != uint64(flushes) {
+		t.Fatalf("batch size histogram observed %d flushes, counters say %d", snap.Count, flushes)
+	}
+}
+
+// Interactive traffic must not coalesce against a cold scoreboard (the
+// hedged single-request path owns tail protection until the owner has
+// proven itself fast), must coalesce once it has, and must always
+// bypass coalescing when the caller carries a deadline.
+func TestInteractiveCoalescingNeedsWarmTrustedOwner(t *testing.T) {
+	r, engines := newRegistryCluster(t, 2, "", Config{})
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	// Cold scoreboard: the first interactive request takes the classic
+	// chain.
+	if _, err := r.ServeEncoded(context.Background(), "E7", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.batched.Load(); got != 0 {
+		t.Fatalf("cold-scoreboard interactive request coalesced (batched=%d)", got)
+	}
+	// Warm the owner's score well past hedgeWarmup with sub-millisecond
+	// cache hits.
+	for i := 0; i < 3*hedgeWarmup; i++ {
+		if _, err := r.ServeWith(context.Background(), "E7", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner := r.Owner(RouteKey("E7", nil))
+	if _, _, n := r.sb.snapshot(owner); n < hedgeWarmup {
+		t.Fatalf("owner score has %d samples, want >= %d", n, hedgeWarmup)
+	}
+	if _, err := r.ServeEncoded(context.Background(), "E7", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.batched.Load(); got != 1 {
+		t.Fatalf("warmed interactive request did not coalesce (batched=%d)", got)
+	}
+	// A deadline-carrying request bypasses the queue even though the
+	// owner is trusted: its flush would run detached from the deadline.
+	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := r.ServeEncoded(dctx, "E7", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.batched.Load(); got != 1 {
+		t.Fatalf("deadline-carrying request coalesced (batched=%d)", got)
+	}
+}
+
+// HTTPBackend.DoBatch against a live replica: one POST /v1/batch
+// exchange serves every entry, per-entry errors come back as
+// statusError values the router taxonomy classifies like single
+// requests, and payloads decode.
+func TestHTTPBackendDoBatch(t *testing.T) {
+	eng := serve.NewEngine(serve.Config{Shards: 4, Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	b := NewHTTPBackend(srv.URL)
+
+	items := []serve.BatchItem{
+		{ID: "E7", Class: admit.Interactive},
+		{ID: "E1", Class: admit.Batch},
+		{ID: "NOPE", Class: admit.Interactive},
+	}
+	outs, err := b.DoBatch(context.Background(), items)
+	if err != nil {
+		t.Fatalf("DoBatch: %v", err)
+	}
+	if len(outs) != len(items) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(items))
+	}
+	for i := 0; i < 2; i++ {
+		if outs[i].Err != nil {
+			t.Fatalf("entry %d: %v", i, outs[i].Err)
+		}
+		rr := outs[i].RawResponse
+		if rr.ID != items[i].ID || rr.Key == "" {
+			t.Fatalf("entry %d: bad identity %+v", i, rr)
+		}
+		if _, err := rr.Result(); err != nil {
+			t.Fatalf("entry %d: bad payload: %v", i, err)
+		}
+	}
+	if outs[2].Err == nil {
+		t.Fatal("unknown experiment served without error")
+	}
+	if !isHTTPStatus(outs[2].Err, http.StatusNotFound) {
+		t.Fatalf("unknown experiment error = %v, want embedded 404", outs[2].Err)
+	}
+	if v := classify(outs[2].Err); v != verdictReturn {
+		t.Fatalf("404 entry classifies as %d, want verdictReturn", v)
+	}
+
+	// Repeat: every entry is the replica's cache hit, carried in the
+	// outcome word.
+	outs, err = b.DoBatch(context.Background(), items[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Err != nil || !o.RawResponse.CacheHit {
+			t.Fatalf("repeat entry %d not a cache hit: %+v", i, o)
+		}
+	}
+}
+
+// The front-end's POST /batch: a frame in, per-entry outcomes out,
+// served through the routed batch plane (placement intact).
+func TestRouterBatchEndpoint(t *testing.T) {
+	r, engines := newRegistryCluster(t, 3, "", Config{})
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	entries := []httpapi.BatchEntry{
+		{ID: "E7", Class: admit.Batch},
+		{ID: "E7", Class: admit.Batch, Params: []string{"f=0.95"}},
+		{ID: "E1", Class: admit.Batch},
+		// Params on an unknown ID fail resolution before admission, so
+		// the entry answers 404 in-frame without an engine request.
+		{ID: "NOPE", Class: admit.Interactive, Params: []string{"x=1"}},
+	}
+	frame := httpapi.AppendBatchRequest(nil, entries)
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := httpapi.DecodeBatchResponse(body)
+	if err != nil {
+		t.Fatalf("DecodeBatchResponse: %v", err)
+	}
+	if len(results) != len(entries) {
+		t.Fatalf("got %d results, want %d", len(results), len(entries))
+	}
+	for i := 0; i < 3; i++ {
+		if !results[i].OK {
+			t.Fatalf("entry %d: HTTP %d: %s", i, results[i].Status, results[i].Msg)
+		}
+	}
+	if r := results[3]; r.OK || r.Status != http.StatusNotFound {
+		t.Fatalf("unknown-ID entry: %+v, want 404", r)
+	}
+	// The direct fan-out was recorded, and each entry landed on its
+	// ring owner (books on the engines sum to the served entries).
+	if r.batchFlushes[flushDirect].Load() == 0 {
+		t.Fatal("no direct batch exchange was recorded")
+	}
+	var engReqs int64
+	for _, e := range engines {
+		engReqs += e.Metrics().Requests
+	}
+	if engReqs != 3 {
+		t.Fatalf("engines saw %d requests, want 3", engReqs)
+	}
+}
+
+// A coalesced flush that fails as a whole (transport error) must fail
+// over: every queued request still completes through the classic chain
+// on a sibling, and the dead replica's health accounting sees the
+// failure.
+func TestCoalescedFlushFailsOverOnTransportError(t *testing.T) {
+	engines := make([]*serve.Engine, 2)
+	killable := make([]*killableBackend, 2)
+	backends := make([]Backend, 2)
+	for i := range engines {
+		engines[i] = serve.NewEngine(serve.Config{Shards: 4, Workers: 2})
+		defer engines[i].Close()
+		killable[i] = &killableBackend{Backend: NewEngineBackend(engines[i], fmt.Sprintf("engine[%d]", i))}
+		backends[i] = killable[i]
+	}
+	r, err := New(backends, Config{FailThreshold: 1, ProbeAfter: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := admit.WithClass(context.Background(), admit.Batch)
+	owner := r.Owner(RouteKey("E7", nil))
+	killable[owner].dead.Store(true)
+
+	rr, err := r.ServeEncoded(ctx, "E7", nil)
+	if err != nil {
+		t.Fatalf("ServeEncoded with dead owner: %v", err)
+	}
+	if _, err := rr.Result(); err != nil {
+		t.Fatalf("bad payload after failover: %v", err)
+	}
+	if r.batched.Load() != 0 {
+		t.Fatal("failed flush must not count as batched")
+	}
+	if !r.Metrics().Health[owner].Ejected {
+		t.Fatal("owner's flush failure should eject it at FailThreshold 1")
+	}
+	if got := engines[1-owner].Executions() + engines[owner].Executions(); got != 1 {
+		t.Fatalf("cluster executed %d times, want exactly 1", got)
+	}
+	var hadError bool
+	for _, h := range r.Metrics().Health {
+		if h.Failures > 0 {
+			hadError = true
+		}
+	}
+	if !hadError {
+		t.Fatal("dead owner's flush failure not in health accounting")
+	}
+}
+
+// errorsIs helper kept out of the hot assertions for readability.
+var _ = errors.Is

@@ -1,0 +1,59 @@
+package router
+
+// Routed hot-path benchmarks: the cluster-scatter shape (a warmed grid
+// scattered over 3 in-process replicas) driven straight at
+// Router.ServeEncoded — the load generator's in-process path. Allocs
+// are reported because the batched data plane's claim is that routing
+// adds frames, not per-request garbage.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func BenchmarkServeEncodedRoutedWarm(b *testing.B) {
+	engines := make([]*serve.Engine, 3)
+	backends := make([]Backend, 3)
+	for i := range engines {
+		engines[i] = serve.NewEngine(serve.Config{Shards: 8, Workers: 2})
+		defer engines[i].Close()
+		backends[i] = NewEngineBackend(engines[i], fmt.Sprintf("engine[%d]", i))
+	}
+	r, err := New(backends, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := sweep.ParseSpec("E7", []string{
+		"f=0.9:0.97:0.01", "bces=16,32,64,128,256,512,1024,2048",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := sp.Grid()
+	for _, p := range grid {
+		if _, err := r.ServeWith(context.Background(), "E7", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	params := make([]core.Params, len(grid))
+	copy(params, grid)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			p := params[int(next.Add(1))%len(params)]
+			if _, err := r.ServeEncoded(ctx, "E7", p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -119,6 +119,17 @@ func (k *killableBackend) Do(ctx context.Context, id string, p core.Params) (ser
 	return k.Backend.Do(ctx, id, p)
 }
 
+// DoBatch keeps the killable replica on the batched data plane while
+// alive, so the mid-sweep kill exercises batch-exchange failover (a
+// dead replica's frame fails as a transport error and every entry must
+// fail over through the classic chain).
+func (k *killableBackend) DoBatch(ctx context.Context, items []serve.BatchItem) ([]serve.BatchOutcome, error) {
+	if k.dead.Load() {
+		return nil, fmt.Errorf("backend killed")
+	}
+	return k.Backend.(BatchBackend).DoBatch(ctx, items)
+}
+
 func (k *killableBackend) Check() error {
 	if k.dead.Load() {
 		return fmt.Errorf("backend killed")

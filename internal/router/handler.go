@@ -2,11 +2,13 @@ package router
 
 // The routing front-end's HTTP face. arch21d -peers mounts this in place
 // of a local engine's handler: /run/{id} routes each request to the
-// replica owning its cache key, /stats reports router counters and
-// per-backend health, /experiments and /healthz serve locally (the
-// registry is compiled in; the front-end's liveness is its own). POST
-// /sweep is mounted separately via sweep.Handler(router), which fans
-// grid points out through the same routing path. Every route is also
+// replica owning its cache key, POST /batch ships a varint-framed
+// multi-request body through the batched data plane (one exchange per
+// owning replica), /stats reports router counters and per-backend
+// health, /experiments and /healthz serve locally (the registry is
+// compiled in; the front-end's liveness is its own). POST /sweep is
+// mounted separately via sweep.Handler(router), which fans grid points
+// out through the same routing path. Every route is also
 // reachable under the versioned /v1 prefix (httpapi.Mount), and every
 // error is the shared httpapi JSON envelope.
 //
@@ -16,11 +18,13 @@ package router
 // the replicas, which serve every format.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/serve"
@@ -70,43 +74,83 @@ func (r *Router) Handler() http.Handler {
 			return
 		}
 		defer cancel()
-		resp, err := r.ServeWith(ctx, id, params)
+		// The batched data plane serves this: a coalesce-eligible request
+		// joins its owner's flush queue (one exchange per frame), anything
+		// else takes the classic hedged chain — either way the payload
+		// arrives encoded, decoded once here at the edge.
+		rr, err := r.ServeEncoded(ctx, id, params)
 		if err != nil {
-			if httpapi.WriteQoSError(w, err) {
-				return
-			}
-			status, code := http.StatusBadGateway, httpapi.CodeUpstream
-			var se *statusError
-			switch {
-			case errors.Is(err, serve.ErrUnknownExperiment):
-				status, code = http.StatusNotFound, httpapi.CodeNotFound
-			case errors.Is(err, serve.ErrBadParams):
-				status, code = http.StatusBadRequest, httpapi.CodeBadRequest
-			case errors.As(err, &se):
-				status, code = se.status, httpapi.CodeForStatus(se.status)
-				// A replica's shed carried a backoff hint; re-emit it so
-				// the client behind the front-end sees the same contract a
-				// replica speaks directly.
-				if se.retryAfter != "" {
-					w.Header().Set("Retry-After", se.retryAfter)
-				}
-			case errors.Is(err, ErrNoBackends):
-				status, code = http.StatusServiceUnavailable, httpapi.CodeNoBackends
-			}
-			httpapi.WriteError(w, status, code, err.Error())
+			writeRoutedError(w, err)
+			return
+		}
+		res, err := rr.Result()
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstream,
+				"bad result payload: "+err.Error())
 			return
 		}
 		httpapi.WriteJSON(w, http.StatusOK, routedEnvelope{
-			ID:        resp.ID,
-			Params:    resp.Params,
-			Key:       resp.Key,
-			Class:     resp.Class.String(),
-			CacheHit:  resp.CacheHit,
-			Shared:    resp.Shared,
-			LatencyMS: resp.Latency.Seconds() * 1e3,
-			Headline:  resp.Result.Headline,
-			Findings:  resp.Result.Findings,
+			ID:        rr.ID,
+			Params:    rr.Params,
+			Key:       rr.Key,
+			Class:     rr.Class.String(),
+			CacheHit:  rr.CacheHit,
+			Shared:    rr.Shared,
+			LatencyMS: rr.Latency.Seconds() * 1e3,
+			Headline:  res.Headline,
+			Findings:  res.Findings,
 		})
+	})
+	// POST /batch: the front-end face of the multi-get plane. Entries
+	// are regrouped by owning replica and shipped as one DoBatch
+	// exchange per owner; per-entry failures ride inside the response
+	// frame with the same status taxonomy the single-request route uses.
+	httpapi.MountFunc(mux, "POST /batch", func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, httpapi.MaxBatchBytes))
+		if err != nil {
+			httpapi.WriteError(w, http.StatusRequestEntityTooLarge, httpapi.CodePayloadTooLarge,
+				"batch body exceeds the cap or could not be read")
+			return
+		}
+		entries, err := httpapi.DecodeBatchRequest(body)
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+			return
+		}
+		ctx, cancel, err := httpapi.RequestContext(req)
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+			return
+		}
+		defer cancel()
+		results := make([]httpapi.BatchResult, len(entries))
+		items := make([]serve.BatchItem, 0, len(entries))
+		served := make([]int, 0, len(entries))
+		for i, en := range entries {
+			p, perr := core.ParseParams(en.Params)
+			if perr != nil {
+				results[i] = httpapi.BatchResult{Status: http.StatusBadRequest, Msg: perr.Error()}
+				continue
+			}
+			items = append(items, serve.BatchItem{ID: en.ID, Params: p, Class: en.Class})
+			served = append(served, i)
+		}
+		for j, o := range r.ServeEncodedBatch(ctx, items) {
+			i := served[j]
+			if o.Err != nil {
+				results[i] = httpapi.BatchResult{Status: routedErrStatus(o.Err), Msg: o.Err.Error()}
+				continue
+			}
+			rr := o.RawResponse
+			results[i] = httpapi.BatchResult{OK: true, CacheHit: rr.CacheHit, Shared: rr.Shared,
+				Key: rr.Key, Payload: rr.Raw}
+		}
+		buf := httpapi.GetBuffer()
+		frame := httpapi.AppendBatchResponse((*buf)[:0], results)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(frame)
+		*buf = frame
+		httpapi.PutBuffer(buf)
 	})
 	httpapi.MountFunc(mux, "GET /stats", func(w http.ResponseWriter, req *http.Request) {
 		httpapi.WriteJSON(w, http.StatusOK, r.Metrics())
@@ -140,4 +184,61 @@ func (r *Router) Handler() http.Handler {
 		httpapi.WriteJSON(w, status, map[string]interface{}{"replicas": acks})
 	})
 	return mux
+}
+
+// writeRoutedError maps a routed serving error onto the wire: QoS sheds
+// get their dedicated statuses, a replica's own HTTP verdict passes
+// through (with its Retry-After hint re-emitted), exhaustion answers
+// 503, everything else 502 — all in the shared envelope.
+func writeRoutedError(w http.ResponseWriter, err error) {
+	if httpapi.WriteQoSError(w, err) {
+		return
+	}
+	status, code := http.StatusBadGateway, httpapi.CodeUpstream
+	var se *statusError
+	switch {
+	case errors.Is(err, serve.ErrUnknownExperiment):
+		status, code = http.StatusNotFound, httpapi.CodeNotFound
+	case errors.Is(err, serve.ErrBadParams):
+		status, code = http.StatusBadRequest, httpapi.CodeBadRequest
+	case errors.As(err, &se):
+		status, code = se.status, httpapi.CodeForStatus(se.status)
+		// A replica's shed carried a backoff hint; re-emit it so the
+		// client behind the front-end sees the same contract a replica
+		// speaks directly.
+		if se.retryAfter != "" {
+			w.Header().Set("Retry-After", se.retryAfter)
+		}
+	case errors.Is(err, ErrNoBackends):
+		status, code = http.StatusServiceUnavailable, httpapi.CodeNoBackends
+	}
+	httpapi.WriteError(w, status, code, err.Error())
+}
+
+// routedErrStatus is writeRoutedError's taxonomy flattened to a status
+// code for a batch entry's outcome word.
+func routedErrStatus(err error) int {
+	var shed *admit.ShedError
+	var se *statusError
+	switch {
+	case errors.As(err, &shed):
+		if shed.Deadline {
+			return http.StatusTooManyRequests
+		}
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrBadParams):
+		return http.StatusBadRequest
+	case errors.As(err, &se):
+		return se.status
+	case errors.Is(err, ErrNoBackends):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
 }

@@ -1,0 +1,231 @@
+package serve
+
+// The engine's multi-get surface: ServeEncodedBatch serves many
+// (experiment, assignment, class) items in one call — warm hits inline
+// off the slab, misses dispatched concurrently through the same
+// singleflight + admission path single requests take — and the POST
+// /batch handler exposes it over the varint frame contract in
+// internal/httpapi. Per-item accounting is identical to ServeEncoded,
+// so the per-class conservation law (hits + deduped + sheds +
+// executions == requests) holds whether a request arrived alone or in
+// a frame of 64.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/httpapi"
+)
+
+// BatchItem is one request in a ServeEncodedBatch call.
+type BatchItem struct {
+	// ID is the experiment to serve.
+	ID string
+	// Key, when non-empty, is the pre-derived engine cache key for
+	// (ID, Params), with Params already schema-resolved. Only in-process
+	// callers that performed the canonical resolution themselves (the
+	// router's batched data plane) may set it: the engine trusts the
+	// pair as exactly what resolveKey would return and serves the warm
+	// path from it without re-resolving. Frames arriving over the wire
+	// never carry it — the handler leaves it empty and the engine
+	// resolves per item as usual.
+	Key string
+	// Params is the parameter assignment (nil for defaults).
+	Params core.Params
+	// Class is the QoS class the item is served and accounted under
+	// (per item, not per batch: a coalesced flush can mix classes).
+	Class admit.Class
+}
+
+// BatchOutcome is one item's result: exactly one of RawResponse (Err ==
+// nil) or Err is meaningful. RawResponse.Raw follows the same slab
+// aliasing contract as ServeEncoded.
+type BatchOutcome struct {
+	RawResponse RawResponse
+	Err         error
+}
+
+// batchMissParallel bounds concurrent miss dispatches per batch call:
+// the scheduler's worker pool already bounds cold compute, this only
+// caps how many goroutines one frame can occupy at once.
+const batchMissParallel = 8
+
+// ServeEncodedBatch serves every item and returns outcomes in item
+// order. Warm hits are served inline (one slab read each, no goroutine);
+// misses run concurrently — bounded by batchMissParallel — through
+// serveMissRaw, so a batch of cold points still deduplicates against
+// concurrent single requests and sheds under the same admission policy.
+// One item's failure never fails its siblings. The context carries the
+// caller's tenant, deadline, and cancellation; each item's class comes
+// from the item itself.
+func (e *Engine) ServeEncodedBatch(ctx context.Context, items []BatchItem) []BatchOutcome {
+	return e.ServeEncodedBatchInto(ctx, items, nil)
+}
+
+// ServeEncodedBatchInto is ServeEncodedBatch writing outcomes into a
+// caller-supplied buffer (reused when its capacity suffices, grown
+// otherwise) — the router's flush loop serves frame after frame through
+// one scratch slice instead of allocating outcomes per flush. The
+// returned slice is valid until the caller's next reuse of buf.
+func (e *Engine) ServeEncodedBatchInto(ctx context.Context, items []BatchItem, buf []BatchOutcome) []BatchOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var out []BatchOutcome
+	if cap(buf) >= len(items) {
+		out = buf[:len(items)]
+		clear(out)
+	} else {
+		out = make([]BatchOutcome, len(items))
+	}
+	var missIdx []int
+	tb := e.tenantBook(ctx)
+	// One clock read serves the whole warm scan: items in one frame
+	// share an arrival time, and a slab read is microseconds — per-item
+	// Now calls were measurable on the flush path, the precision is not.
+	t0 := time.Now()
+	for i := range items {
+		it := &items[i]
+		key, resolved := it.Key, it.Params
+		if key == "" {
+			var err error
+			key, resolved, err = e.resolveKey(it.ID, it.Params)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+		}
+		cc := &e.classes[it.Class]
+		cc.requests.Add(1)
+		if tb != nil {
+			tb.requests.Add(1)
+		}
+		if raw, ok := e.cache.Get(key); ok {
+			cc.hits.Add(1)
+			if tb != nil {
+				tb.hits.Add(1)
+			}
+			lat := time.Since(t0)
+			e.observe(it.Class, true, lat)
+			out[i].RawResponse = RawResponse{ID: it.ID, Params: resolved, Key: key,
+				Class: it.Class, Raw: raw, CacheHit: true, Latency: lat}
+			continue
+		}
+		// Stash the resolved key/params for the miss pass below.
+		out[i].RawResponse = RawResponse{Key: key, Params: resolved}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out
+	}
+	sem := make(chan struct{}, batchMissParallel)
+	var wg sync.WaitGroup
+	for _, i := range missIdx {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			it := &items[i]
+			// serveMissRaw reads the class from the context for its
+			// accounting; it must match the class counted above.
+			ictx := ctx
+			if admit.ClassFrom(ctx) != it.Class {
+				ictx = admit.WithClass(ctx, it.Class)
+			}
+			rr, err := e.serveMissRaw(ictx, it.ID, out[i].RawResponse.Key,
+				out[i].RawResponse.Params, time.Now())
+			if err != nil {
+				out[i] = BatchOutcome{Err: err}
+				return
+			}
+			out[i].RawResponse = rr
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// batchErrStatus maps one item's serving error onto the HTTP status its
+// outcome word carries — the same taxonomy writeRunError applies to a
+// single /run request, so a batched caller can branch identically.
+func batchErrStatus(err error) int {
+	var shed *admit.ShedError
+	switch {
+	case errors.As(err, &shed):
+		if shed.Deadline {
+			return http.StatusTooManyRequests
+		}
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownExperiment):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadParams):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleBatch is POST /batch: decode the request frame, serve every
+// entry through ServeEncodedBatch, answer with the response frame. The
+// whole-request error paths (unreadable body, bad frame, bad QoS
+// headers) use the shared JSON envelope like every other endpoint;
+// per-entry failures ride inside the frame as outcome words so one bad
+// entry cannot fail its siblings.
+func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, httpapi.MaxBatchBytes))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusRequestEntityTooLarge, httpapi.CodePayloadTooLarge,
+			"batch body exceeds the cap or could not be read")
+		return
+	}
+	entries, err := httpapi.DecodeBatchRequest(body)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	ctx, cancel, err := RequestContext(r)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+	results := make([]httpapi.BatchResult, len(entries))
+	items := make([]BatchItem, 0, len(entries))
+	served := make([]int, 0, len(entries)) // results index per items index
+	for i, en := range entries {
+		p, perr := core.ParseParams(en.Params)
+		if perr != nil {
+			results[i] = httpapi.BatchResult{Status: http.StatusBadRequest, Msg: perr.Error()}
+			continue
+		}
+		items = append(items, BatchItem{ID: en.ID, Params: p, Class: en.Class})
+		served = append(served, i)
+	}
+	for j, o := range e.ServeEncodedBatch(ctx, items) {
+		i := served[j]
+		if o.Err != nil {
+			results[i] = httpapi.BatchResult{Status: batchErrStatus(o.Err), Msg: o.Err.Error()}
+			continue
+		}
+		rr := o.RawResponse
+		results[i] = httpapi.BatchResult{OK: true, CacheHit: rr.CacheHit, Shared: rr.Shared,
+			Key: rr.Key, Payload: rr.Raw}
+	}
+	buf := httpapi.GetBuffer()
+	frame := httpapi.AppendBatchResponse((*buf)[:0], results)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(frame)
+	*buf = frame
+	httpapi.PutBuffer(buf)
+}

@@ -262,6 +262,17 @@ type Server interface {
 	ServeWith(ctx context.Context, id string, p core.Params) (serve.Response, error)
 }
 
+// BatchServer is the optional multi-get surface a sweep prefers when the
+// server offers it: many grid points served in one call. serve.Engine
+// and router.Router both satisfy it — through the router, one wave
+// becomes one batch exchange per owning replica instead of a request
+// per point, which is where a cluster sweep's wall time goes. Placement
+// and memoization are identical to the per-point path, so exactly-once
+// cluster-wide is preserved.
+type BatchServer interface {
+	ServeEncodedBatch(ctx context.Context, items []serve.BatchItem) []serve.BatchOutcome
+}
+
 // Point is one completed grid point, as streamed to the caller.
 type Point struct {
 	// Index is the point's position in row-major grid order.
@@ -334,6 +345,9 @@ func Run(ctx context.Context, srv Server, sp Spec, emit func(Point) error) (Summ
 	}
 	if par > len(grid) {
 		par = len(grid)
+	}
+	if bs, ok := srv.(BatchServer); ok {
+		return runBatched(ctx, bs, exp, sp, grid, par, t0, emit)
 	}
 
 	type outcome struct {
@@ -412,6 +426,67 @@ func Run(ctx context.Context, srv Server, sp Spec, emit func(Point) error) (Summ
 			}
 		}
 		points = append(points, pt)
+	}
+	sum.Elapsed = time.Since(t0)
+	sum.Aggregate = aggregate(exp, sp, points)
+	return sum, nil
+}
+
+// runBatched is Run's fan-out over a BatchServer: the grid is served in
+// sequential waves of 2*Parallelism points, each wave one
+// ServeEncodedBatch call (which the router regroups into one exchange
+// per owning replica). Emission stays strictly ordered — a wave's
+// points stream before the next wave ships — and the first point error
+// (or emit error) aborts exactly like the per-point path: ctx
+// cancellation reaches whatever the wave left running.
+func runBatched(ctx context.Context, bs BatchServer, exp core.Experiment, sp Spec, grid []core.Params, par int, t0 time.Time, emit func(Point) error) (Summary, error) {
+	// Twice the per-point worker count: enough batching to amortize the
+	// exchange, small enough that a doomed sweep stops within one wave.
+	wave := 2 * par
+	class := admit.ClassFrom(ctx)
+	sum := Summary{ID: sp.ID, Axes: sp.Axes, Points: len(grid)}
+	points := make([]Point, 0, len(grid))
+	items := make([]serve.BatchItem, 0, wave)
+	for lo := 0; lo < len(grid); lo += wave {
+		hi := lo + wave
+		if hi > len(grid) {
+			hi = len(grid)
+		}
+		if err := ctx.Err(); err != nil {
+			return Summary{}, fmt.Errorf("sweep: %s point %d: %w", sp.ID, lo, err)
+		}
+		items = items[:0]
+		for i := lo; i < hi; i++ {
+			items = append(items, serve.BatchItem{ID: sp.ID, Params: grid[i], Class: class})
+		}
+		for j, out := range bs.ServeEncodedBatch(ctx, items) {
+			i := lo + j
+			if out.Err != nil {
+				return Summary{}, fmt.Errorf("sweep: %s point %d: %w", sp.ID, i, out.Err)
+			}
+			res, err := out.RawResponse.Result()
+			if err != nil {
+				return Summary{}, fmt.Errorf("sweep: %s point %d: bad result payload: %w", sp.ID, i, err)
+			}
+			pt := Point{
+				Index:    i,
+				Params:   grid[i],
+				Key:      out.RawResponse.Key,
+				Result:   res,
+				CacheHit: out.RawResponse.CacheHit,
+				Shared:   out.RawResponse.Shared,
+				Latency:  out.RawResponse.Latency,
+			}
+			if pt.CacheHit {
+				sum.CacheHits++
+			}
+			if emit != nil {
+				if err := emit(pt); err != nil {
+					return Summary{}, err
+				}
+			}
+			points = append(points, pt)
+		}
 	}
 	sum.Elapsed = time.Since(t0)
 	sum.Aggregate = aggregate(exp, sp, points)
